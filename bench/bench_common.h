@@ -1,0 +1,75 @@
+// Shared plumbing for the benchmark harness binaries. Every harness accepts
+// the same core flags so sweeps can be scripted uniformly:
+//   --scale      fraction of the published dataset size to generate
+//   --snapshots  override of the snapshot count (0 = dataset default)
+//   --reps       query sources per dataset
+//   --seed       RNG seed (datasets and algorithms both derive from it)
+//   --divisor    trial-count divisor applied to the closed-form n_r (the
+//                paper-exact counts are ~10^4-10^5; see DESIGN.md §2)
+//   --csv        optional path to also dump the result table as CSV
+#ifndef CRASHSIM_BENCH_BENCH_COMMON_H_
+#define CRASHSIM_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "eval/experiment.h"
+#include "util/flags.h"
+
+namespace crashsim {
+namespace bench {
+
+struct BenchConfig {
+  double scale = 0.05;
+  int snapshots = 0;
+  int reps = 3;
+  uint64_t seed = 7;
+  double divisor = 20.0;
+  std::string csv;
+};
+
+inline void DefineCommonFlags(FlagSet* flags, double default_scale,
+                              int default_snapshots, int default_reps,
+                              double default_divisor) {
+  flags->DefineDouble("scale", default_scale,
+                      "fraction of published dataset size to generate");
+  flags->DefineInt("snapshots", default_snapshots,
+                   "snapshot count override (0 = dataset default)");
+  flags->DefineInt("reps", default_reps, "query sources per dataset");
+  flags->DefineInt("seed", 7, "RNG seed");
+  flags->DefineDouble("divisor", default_divisor,
+                      "divide the closed-form trial count by this");
+  flags->DefineString("csv", "", "also write the result table to this path");
+}
+
+inline BenchConfig ConfigFromFlags(const FlagSet& flags) {
+  BenchConfig cfg;
+  cfg.scale = flags.GetDouble("scale");
+  cfg.snapshots = static_cast<int>(flags.GetInt("snapshots"));
+  cfg.reps = static_cast<int>(flags.GetInt("reps"));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  cfg.divisor = flags.GetDouble("divisor");
+  cfg.csv = flags.GetString("csv");
+  return cfg;
+}
+
+// Budgeted trial count: closed-form / divisor, floored at 100.
+inline int64_t BudgetedTrials(int64_t closed_form, double divisor) {
+  const int64_t divided =
+      static_cast<int64_t>(static_cast<double>(closed_form) / divisor);
+  return std::max<int64_t>(100, divided);
+}
+
+inline void MaybeWriteCsv(const ResultTable& table, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  table.WriteCsv(out);
+  std::printf("[csv written to %s]\n", path.c_str());
+}
+
+}  // namespace bench
+}  // namespace crashsim
+
+#endif  // CRASHSIM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,173 @@
+// Component microbenchmarks (google-benchmark): the primitive costs behind
+// the paper-level experiments — walk sampling, revReach construction in both
+// modes, a ProbeSim trial, SLING/READS index construction and queries, the
+// power-method iteration, and snapshot materialisation.
+#include <benchmark/benchmark.h>
+
+#include "core/crashsim.h"
+#include "core/rev_reach.h"
+#include "datasets/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/temporal_graph.h"
+#include "simrank/power_method.h"
+#include "simrank/probesim.h"
+#include "simrank/reads.h"
+#include "simrank/sling.h"
+#include "simrank/walk.h"
+#include "util/rng.h"
+
+namespace crashsim {
+namespace {
+
+const Graph& FixtureGraph(int64_t n) {
+  static auto* const cache = new std::map<int64_t, Graph>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Rng rng(42);
+    it = cache->emplace(n, BarabasiAlbert(static_cast<NodeId>(n), 4,
+                                          /*undirected=*/false, &rng))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_SampleSqrtCWalk(benchmark::State& state) {
+  const Graph& g = FixtureGraph(state.range(0));
+  Rng rng(1);
+  std::vector<NodeId> walk;
+  NodeId v = 0;
+  for (auto _ : state) {
+    SampleSqrtCWalk(g, v, 0.7746, 35, &rng, &walk);
+    benchmark::DoNotOptimize(walk.data());
+    v = static_cast<NodeId>((v + 1) % g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampleSqrtCWalk)->Arg(1000)->Arg(10000);
+
+void BM_BuildRevReachPaper(benchmark::State& state) {
+  const Graph& g = FixtureGraph(state.range(0));
+  for (auto _ : state) {
+    const auto tree =
+        BuildRevReach(g, 1, 35, 0.6, RevReachMode::kPaper, 1e-9);
+    benchmark::DoNotOptimize(tree.EntryCount());
+  }
+}
+BENCHMARK(BM_BuildRevReachPaper)->Arg(1000)->Arg(10000);
+
+void BM_BuildRevReachCorrected(benchmark::State& state) {
+  const Graph& g = FixtureGraph(state.range(0));
+  for (auto _ : state) {
+    const auto tree =
+        BuildRevReach(g, 1, 35, 0.6, RevReachMode::kCorrected, 1e-9);
+    benchmark::DoNotOptimize(tree.EntryCount());
+  }
+}
+BENCHMARK(BM_BuildRevReachCorrected)->Arg(1000)->Arg(10000);
+
+void BM_CrashSimTrialBatch(benchmark::State& state) {
+  // 100 trials over a 64-candidate set against a prebuilt tree.
+  const Graph& g = FixtureGraph(state.range(0));
+  CrashSimOptions opt;
+  opt.mc.trials_override = 100;
+  CrashSim algo(opt);
+  algo.Bind(&g);
+  const auto tree = algo.BuildTree(1);
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < 64; ++v) candidates.push_back(v);
+  for (auto _ : state) {
+    auto scores = algo.PartialWithTree(tree, candidates);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_CrashSimTrialBatch)->Arg(1000)->Arg(10000);
+
+void BM_ProbeSimTrialBatch(benchmark::State& state) {
+  // 100 full ProbeSim trials (walk + probes): the per-trial cost CrashSim's
+  // design removes.
+  const Graph& g = FixtureGraph(state.range(0));
+  SimRankOptions mc;
+  mc.trials_override = 100;
+  ProbeSim algo(mc);
+  algo.Bind(&g);
+  for (auto _ : state) {
+    auto scores = algo.SingleSource(1);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_ProbeSimTrialBatch)->Arg(1000)->Arg(10000);
+
+void BM_SlingIndexBuild(benchmark::State& state) {
+  const Graph& g = FixtureGraph(state.range(0));
+  SimRankOptions mc;
+  for (auto _ : state) {
+    Sling algo(mc);
+    algo.Bind(&g);
+    benchmark::DoNotOptimize(algo.index_stats().reverse_entries);
+  }
+}
+BENCHMARK(BM_SlingIndexBuild)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ReadsIndexBuild(benchmark::State& state) {
+  const Graph& g = FixtureGraph(state.range(0));
+  ReadsOptions ro;
+  for (auto _ : state) {
+    Reads algo(ro);
+    algo.Bind(&g);
+    benchmark::DoNotOptimize(algo.IndexBytes());
+  }
+}
+BENCHMARK(BM_ReadsIndexBuild)->Arg(1000)->Arg(10000);
+
+void BM_ReadsQuery(benchmark::State& state) {
+  const Graph& g = FixtureGraph(state.range(0));
+  ReadsOptions ro;
+  Reads algo(ro);
+  algo.Bind(&g);
+  NodeId u = 0;
+  for (auto _ : state) {
+    auto scores = algo.SingleSource(u);
+    benchmark::DoNotOptimize(scores.data());
+    u = static_cast<NodeId>((u + 1) % g.num_nodes());
+  }
+}
+BENCHMARK(BM_ReadsQuery)->Arg(1000)->Arg(10000);
+
+void BM_PowerMethodIteration(benchmark::State& state) {
+  const Graph& g = FixtureGraph(state.range(0));
+  for (auto _ : state) {
+    const auto m = PowerMethodAllPairs(g, 0.6, 1);
+    benchmark::DoNotOptimize(m.At(0, 1));
+  }
+}
+BENCHMARK(BM_PowerMethodIteration)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotCursorSweep(benchmark::State& state) {
+  static const TemporalGraph* const tg = [] {
+    auto* out = new TemporalGraph(MakeDataset("as733", 0.05, 50, 7).temporal);
+    return out;
+  }();
+  for (auto _ : state) {
+    SnapshotCursor cursor(tg);
+    int64_t edges = 0;
+    do {
+      edges += cursor.graph().num_edges();
+    } while (cursor.Advance());
+    benchmark::DoNotOptimize(edges);
+  }
+}
+BENCHMARK(BM_SnapshotCursorSweep)->Unit(benchmark::kMillisecond);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const Graph& g = FixtureGraph(state.range(0));
+  const std::vector<Edge> edges = g.Edges();
+  for (auto _ : state) {
+    const Graph rebuilt = BuildGraph(g.num_nodes(), edges);
+    benchmark::DoNotOptimize(rebuilt.num_edges());
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,64 @@
+// Temporal SimRank Trend Query (Definition 4) on a HepTh-like co-authorship
+// network: find researchers whose structural similarity to a given author is
+// continuously *increasing* — collaborations converging on the same
+// community — versus continuously decreasing (drifting apart). The paper's
+// second motivating scenario ("in DBLP networks, the cooperative
+// relationship between authors are established and dissolved over time").
+#include <cstdio>
+
+#include "core/crashsim_t.h"
+#include "datasets/datasets.h"
+
+namespace {
+
+void RunTrend(const crashsim::Dataset& ds, crashsim::TemporalQueryKind kind,
+              const char* label) {
+  using namespace crashsim;
+  TemporalQuery query;
+  query.kind = kind;
+  query.source = 11;
+  query.begin_snapshot = 0;
+  query.end_snapshot = ds.temporal.num_snapshots() - 1;
+  // Monte-Carlo estimates jitter; tolerate noise of about half the trial
+  // standard error so the trend predicate tracks the real signal.
+  query.trend_tolerance = 0.01;
+
+  CrashSimTOptions options;
+  options.crashsim.mc.c = 0.6;
+  options.crashsim.mc.trials_override = 3000;
+  options.crashsim.mc.seed = 1;
+  options.crashsim.mode = RevReachMode::kCorrected;
+
+  CrashSimT engine(options);
+  const TemporalAnswer answer = engine.Answer(ds.temporal, query);
+  std::printf("%-20s %4zu authors", label, answer.nodes.size());
+  std::printf("  (computed %lld scores; pruned %lld)\n",
+              static_cast<long long>(answer.stats.scores_computed),
+              static_cast<long long>(answer.stats.pruned_by_delta +
+                                     answer.stats.pruned_by_difference));
+}
+
+}  // namespace
+
+int main() {
+  using namespace crashsim;
+
+  // Co-authorship stand-in: an undirected heavy-tailed graph growing and
+  // churning over 10 "years".
+  const Dataset ds = MakeDataset("hepth", 0.015, /*snapshots_override=*/10,
+                                 /*seed=*/12);
+  std::printf("co-authorship network: %d authors, %lld edges, %d years\n\n",
+              ds.spec.nodes, static_cast<long long>(ds.spec.edges),
+              ds.spec.snapshots);
+  std::printf("similarity trend of every author against author %d:\n", 11);
+
+  RunTrend(ds, TemporalQueryKind::kTrendIncreasing, "converging (s up):");
+  RunTrend(ds, TemporalQueryKind::kTrendDecreasing, "drifting  (s down):");
+
+  std::printf(
+      "\nauthors in the converging set are collaboration candidates; the\n"
+      "drifting set flags dissolving communities. Both answers used partial\n"
+      "SimRank evaluation: candidates that failed the trend in an early year\n"
+      "were never scored again.\n");
+  return 0;
+}

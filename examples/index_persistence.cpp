@@ -1,0 +1,85 @@
+// Index persistence workflow: build the READS and SLING indexes once, save
+// them to disk, and restore them in a "restarted" instance — the pattern a
+// long-running similarity service uses to survive restarts without paying
+// index construction again. Also shows READS' incremental repair on top of
+// a restored index.
+#include <cstdio>
+#include <sstream>
+
+#include "datasets/datasets.h"
+#include "graph/snapshot_diff.h"
+#include "simrank/reads.h"
+#include "simrank/sling.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace crashsim;
+
+  const Dataset ds = MakeDataset("wiki-vote", 0.05, /*snapshots_override=*/3,
+                                 /*seed=*/8);
+  const Graph& g = ds.static_graph;
+  std::printf("graph: %d nodes, %lld edges\n\n", g.num_nodes(),
+              static_cast<long long>(g.num_edges()));
+
+  // --- SLING: the expensive index -------------------------------------
+  SimRankOptions mc;
+  mc.c = 0.6;
+  mc.seed = 5;
+  Sling sling(mc);
+  Stopwatch build_timer;
+  sling.Bind(&g);
+  std::printf("SLING index built in %.1f ms (%lld reverse entries)\n",
+              build_timer.ElapsedMillis(),
+              static_cast<long long>(sling.index_stats().reverse_entries));
+
+  std::stringstream sling_store;  // stands in for a file on disk
+  sling.SaveIndex(sling_store);
+  std::printf("SLING index serialised: %zu bytes\n\n",
+              sling_store.str().size());
+
+  Sling restarted(mc);
+  restarted.Bind(&g);  // a real restart would rebuild here...
+  std::string error;
+  Stopwatch load_timer;
+  if (!restarted.LoadIndex(sling_store, &error)) {
+    std::printf("load failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("SLING index restored in %.1f ms; query results identical: %s\n\n",
+              load_timer.ElapsedMillis(),
+              restarted.SingleSource(3) == sling.SingleSource(3) ? "yes"
+                                                                 : "no");
+
+  // --- READS: restore, then repair incrementally -----------------------
+  // Index built against snapshot 1; after the restart the graph has moved
+  // on to snapshot 2.
+  const Graph mid = ds.temporal.Snapshot(1);
+  ReadsOptions ro;
+  ro.seed = 5;
+  Reads reads(ro);
+  reads.Bind(&mid);
+  std::stringstream reads_store;
+  reads.SaveIndex(reads_store);
+
+  Reads reads_restarted(ro);
+  reads_restarted.Bind(&mid);
+  if (!reads_restarted.LoadIndex(reads_store, &error)) {
+    std::printf("load failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("READS index restored (%lld bytes).\n",
+              static_cast<long long>(reads_restarted.IndexBytes()));
+
+  // The graph evolves after the restart: repair the loaded index in place
+  // instead of rebuilding (READS' dynamic-update path).
+  const std::vector<Edge> before = ds.temporal.SnapshotEdges(1);
+  const std::vector<Edge> after = ds.temporal.SnapshotEdges(2);
+  const EdgeDelta delta = DiffEdgeSets(before, after);
+  const Graph next = ds.temporal.Snapshot(2);
+  Stopwatch repair_timer;
+  reads_restarted.ApplyDelta(delta, &next);
+  std::printf("applied %zu edge events to the restored index in %.2f ms —\n"
+              "no rebuild required.\n",
+              delta.Size(), repair_timer.ElapsedMillis());
+  return 0;
+}

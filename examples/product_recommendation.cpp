@@ -1,0 +1,78 @@
+// The paper's motivating Example 1: product recommendation over a temporal
+// co-purchase network. Users whose similarity to a target user u stays above
+// a threshold across the whole query interval form a stable recommendation
+// group; users whose similarity is merely high *right now* but trending down
+// are poor targets.
+//
+// We synthesise a Wiki-Vote-like temporal interaction graph, then answer a
+// Temporal SimRank Threshold Query (Definition 5) with CrashSim-T and
+// contrast the result with the single-snapshot answer to show why the
+// temporal formulation matters.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/crashsim_t.h"
+#include "datasets/datasets.h"
+
+int main() {
+  using namespace crashsim;
+
+  // A small seeded stand-in for a user interaction network: ~70 users whose
+  // pairwise interactions churn over 12 "days".
+  const Dataset ds = MakeDataset("wiki-vote", 0.01, /*snapshots_override=*/12,
+                                 /*seed=*/5);
+  std::printf("interaction network: %d users, %lld interactions, %d days\n",
+              ds.spec.nodes, static_cast<long long>(ds.spec.edges),
+              ds.spec.snapshots);
+
+  TemporalQuery query;
+  query.kind = TemporalQueryKind::kThreshold;
+  query.source = 7;          // the user whose purchases we want to propagate
+  query.begin_snapshot = 0;
+  query.end_snapshot = 11;   // the entire 12-day window
+  query.theta = 0.018;       // similarity must stay above theta every day
+
+  CrashSimTOptions options;
+  options.crashsim.mc.c = 0.6;
+  options.crashsim.mc.trials_override = 4000;
+  options.crashsim.mc.seed = 42;
+  options.crashsim.mode = RevReachMode::kCorrected;
+
+  CrashSimT engine(options);
+  const TemporalAnswer stable = engine.Answer(ds.temporal, query);
+
+  std::printf("\nusers continuously similar to user %d over all %d days: %zu\n",
+              query.source, ds.spec.snapshots, stable.nodes.size());
+  std::printf("  ");
+  for (size_t i = 0; i < stable.nodes.size() && i < 12; ++i) {
+    std::printf("%d ", stable.nodes[i]);
+  }
+  std::printf("%s\n", stable.nodes.size() > 12 ? "..." : "");
+
+  // Contrast: the same threshold evaluated only on the final day. Users in
+  // this set but not the stable set looked similar at one instant only —
+  // the ones Example 1 warns against recommending to.
+  TemporalQuery last_day = query;
+  last_day.begin_snapshot = last_day.end_snapshot;
+  CrashSimT single(options);
+  const TemporalAnswer snapshot_only = single.Answer(ds.temporal, last_day);
+
+  int transient = 0;
+  for (NodeId v : snapshot_only.nodes) {
+    if (!std::binary_search(stable.nodes.begin(), stable.nodes.end(), v)) {
+      ++transient;
+    }
+  }
+  std::printf("\nsimilar on the last day only: %zu users, of which %d are\n"
+              "transient (fail the continuous-threshold requirement) — the\n"
+              "recommendation engine should skip those.\n",
+              snapshot_only.nodes.size(), transient);
+
+  std::printf("\npruning effectiveness: %lld scores computed, %lld retired by\n"
+              "delta pruning, %lld by difference pruning over %d snapshots.\n",
+              static_cast<long long>(stable.stats.scores_computed),
+              static_cast<long long>(stable.stats.pruned_by_delta),
+              static_cast<long long>(stable.stats.pruned_by_difference),
+              stable.stats.snapshots_processed);
+  return 0;
+}

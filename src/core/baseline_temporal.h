@@ -1,0 +1,84 @@
+#ifndef CRASHSIM_CORE_BASELINE_TEMPORAL_H_
+#define CRASHSIM_CORE_BASELINE_TEMPORAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/temporal_query.h"
+#include "graph/temporal_graph.h"
+#include "simrank/reads.h"
+#include "simrank/simrank.h"
+
+namespace crashsim {
+
+// Outcome of a temporal SimRank query plus the bookkeeping the benchmark
+// harness reports.
+struct TemporalAnswerStats {
+  int snapshots_processed = 0;
+  double total_seconds = 0.0;
+  // (snapshot, node) scores actually recomputed; pruning shrinks this.
+  int64_t scores_computed = 0;
+  int64_t pruned_by_delta = 0;
+  int64_t pruned_by_difference = 0;
+  // Snapshots where the source tree matched and pruning was attempted.
+  int stable_tree_snapshots = 0;
+};
+
+struct TemporalAnswer {
+  std::vector<NodeId> nodes;  // the result set Omega, sorted
+  TemporalAnswerStats stats;
+};
+
+// Interface of every temporal SimRank query engine (CrashSim-T and the
+// Section II-D baseline adaptations).
+class TemporalEngine {
+ public:
+  virtual ~TemporalEngine() = default;
+  virtual std::string name() const = 0;
+  virtual TemporalAnswer Answer(const TemporalGraph& tg,
+                                const TemporalQuery& query) = 0;
+};
+
+// The straightforward extension of a static algorithm (ProbeSim, SLING,
+// CrashSim-without-pruning, ...) described in Section II-D: rebind and
+// recompute the full single-source result at every snapshot, then filter.
+// The wrapped algorithm is borrowed and must outlive the engine.
+class StaticRecomputeEngine : public TemporalEngine {
+ public:
+  explicit StaticRecomputeEngine(SimRankAlgorithm* algorithm)
+      : algorithm_(algorithm) {}
+
+  std::string name() const override { return algorithm_->name() + "-T"; }
+  TemporalAnswer Answer(const TemporalGraph& tg,
+                        const TemporalQuery& query) override;
+
+ private:
+  SimRankAlgorithm* algorithm_;
+};
+
+// READS adapted to temporal queries: the one-way-graph index is built once
+// and repaired per snapshot via Reads::ApplyDelta (its dynamic-update path),
+// but the single-source evaluation still runs on every snapshot for the
+// whole node set — the paper's point that dynamic-graph indexes miss the
+// shrinking-candidate-set opportunity.
+class ReadsTemporalEngine : public TemporalEngine {
+ public:
+  explicit ReadsTemporalEngine(const ReadsOptions& options)
+      : reads_(options) {}
+
+  std::string name() const override { return "READS-T"; }
+  TemporalAnswer Answer(const TemporalGraph& tg,
+                        const TemporalQuery& query) override;
+
+ private:
+  Reads reads_;
+};
+
+// Validates the query interval against the temporal graph (CHECK-fails on
+// out-of-range or inverted intervals). Shared by all engines.
+void CheckQueryInterval(const TemporalGraph& tg, const TemporalQuery& query);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_CORE_BASELINE_TEMPORAL_H_

@@ -1,0 +1,123 @@
+#include "core/crashsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "simrank/walk.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace crashsim {
+
+CrashSim::CrashSim(const CrashSimOptions& options)
+    : options_(options), sqrt_c_(std::sqrt(options.mc.c)), rng_(options.mc.seed) {}
+
+void CrashSim::Bind(const Graph* g) {
+  set_graph(g);
+  diag_.clear();
+  if (options_.mode == RevReachMode::kCorrected) {
+    diag_ = EstimateDiagonalCorrections(*g, options_.mc.c,
+                                        options_.diag_samples, LMax() + 1,
+                                        &rng_);
+  }
+}
+
+int CrashSim::LMax() const {
+  return options_.lmax_override > 0 ? options_.lmax_override
+                                    : CrashSimLMax(options_.mc.c);
+}
+
+int64_t CrashSim::TrialsFor(NodeId n) const {
+  if (options_.mc.trials_override > 0) return options_.mc.trials_override;
+  int64_t nr = CrashSimTrialCount(options_.mc.c, options_.mc.epsilon,
+                                  options_.mc.delta, n);
+  if (options_.mc.trials_cap > 0) nr = std::min(nr, options_.mc.trials_cap);
+  return nr;
+}
+
+ReverseReachableTree CrashSim::BuildTree(NodeId u) const {
+  return BuildRevReach(*graph(), u, LMax(), options_.mc.c, options_.mode,
+                       options_.tree_prune_threshold);
+}
+
+std::vector<double> CrashSim::SingleSource(NodeId u) {
+  std::vector<NodeId> all(static_cast<size_t>(graph()->num_nodes()));
+  std::iota(all.begin(), all.end(), 0);
+  return Partial(u, all);
+}
+
+std::vector<double> CrashSim::Partial(NodeId u,
+                                      std::span<const NodeId> candidates) {
+  const ReverseReachableTree tree = BuildTree(u);
+  return PartialWithTree(tree, candidates);
+}
+
+std::vector<double> CrashSim::PartialWithTree(
+    const ReverseReachableTree& tree, std::span<const NodeId> candidates) {
+  const Graph& g = *graph();
+  const NodeId u = tree.source();
+  CRASHSIM_CHECK(u >= 0 && u < g.num_nodes());
+  const int l_max = tree.max_level();
+  const int64_t n_r = TrialsFor(g.num_nodes());
+  const bool corrected = options_.mode == RevReachMode::kCorrected;
+  CRASHSIM_CHECK(!corrected || !diag_.empty())
+      << "corrected mode requires Bind() to estimate d(w)";
+
+  std::vector<double> scores(candidates.size(), 0.0);
+  // Accumulates all n_r trials for one candidate with a caller-chosen RNG.
+  auto run_candidate = [&](NodeId v, Rng* rng, std::vector<NodeId>* walk) {
+    double total = 0.0;
+    for (int64_t k = 0; k < n_r; ++k) {
+      // Algorithm 1 line 8: W(v) truncated to l_max nodes.
+      SampleSqrtCWalk(g, v, sqrt_c_, l_max, rng, walk);
+      // Lines 10-11: crash the walk into the source tree.
+      for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
+        const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
+        const double hit = tree.Probability(i - 1, w);
+        if (hit == 0.0) continue;
+        total += corrected ? hit * diag_[static_cast<size_t>(w)] : hit;
+      }
+    }
+    return total;
+  };
+
+  if (options_.num_threads > 1) {
+    // Parallel mode: each candidate gets its own stream derived from (seed,
+    // source, candidate), so results do not depend on scheduling.
+    ParallelFor(
+        static_cast<int64_t>(candidates.size()),
+        [&](int64_t begin, int64_t end) {
+          std::vector<NodeId> walk;
+          for (int64_t ci = begin; ci < end; ++ci) {
+            const NodeId v = candidates[static_cast<size_t>(ci)];
+            if (v == u) continue;
+            SplitMix64 mix(options_.mc.seed ^
+                           (static_cast<uint64_t>(u) << 32) ^
+                           static_cast<uint64_t>(static_cast<uint32_t>(v)));
+            Rng rng(mix.Next());
+            scores[static_cast<size_t>(ci)] = run_candidate(v, &rng, &walk);
+          }
+        },
+        /*min_chunk=*/8);
+  } else {
+    std::vector<NodeId> walk;
+    // Note the trial/candidate loop order is inverted relative to Algorithm
+    // 1 (candidate-major instead of trial-major). The estimator is a plain
+    // sum over (trial, candidate), so the result distribution is identical,
+    // and candidate-major keeps the source-tree rows of each candidate's
+    // neighbourhood hot in cache.
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      const NodeId v = candidates[ci];
+      if (v == u) continue;
+      scores[ci] = run_candidate(v, &rng_, &walk);
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(n_r);
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    scores[ci] = (candidates[ci] == u) ? 1.0 : scores[ci] * inv;
+  }
+  return scores;
+}
+
+}  // namespace crashsim

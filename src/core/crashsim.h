@@ -1,0 +1,83 @@
+#ifndef CRASHSIM_CORE_CRASHSIM_H_
+#define CRASHSIM_CORE_CRASHSIM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rev_reach.h"
+#include "simrank/simrank.h"
+#include "util/rng.h"
+
+namespace crashsim {
+
+// Options of the CrashSim estimator (Algorithm 1).
+struct CrashSimOptions {
+  // Monte-Carlo parameters shared with the baselines (c, epsilon, delta,
+  // trial budget, seed).
+  SimRankOptions mc;
+  // Paper-verbatim or corrected revReach recurrence (see rev_reach.h).
+  RevReachMode mode = RevReachMode::kPaper;
+  // Overrides l_max = ceil((1+sqrt c)/(1-sqrt c)^2) when > 0.
+  int lmax_override = 0;
+  // revReach entries below this are dropped; bounds tree size without
+  // visible effect at the paper's epsilon range.
+  double tree_prune_threshold = 1e-9;
+  // Corrected mode only: paired-walk samples per node for the diagonal
+  // corrections d(w).
+  int diag_samples = 100;
+  // > 1 evaluates candidates in parallel. Parallel results are deterministic
+  // in (seed, source, candidate) — independent of the actual thread count —
+  // but differ from the sequential stream, so keep the default for
+  // bit-exact comparisons against single-threaded runs.
+  int num_threads = 1;
+};
+
+// CrashSim (Section III, Algorithm 1): index-free single-source and
+// *partial* SimRank with the (epsilon, delta) guarantee of Theorem 1.
+//
+// Per query it builds one truncated reverse-reachable tree U for the source
+// (Algorithm 2), then runs n_r trials; each trial samples one truncated
+// sqrt(c)-walk W(v) per candidate v and accumulates
+//   s_k(u, v) += U(i - 1, W_i(v))   for i in [2, |W(v)|]
+// — the probability mass of W(u) "crashing" into the sampled walk. Unlike
+// ProbeSim, nothing is recomputed per candidate beyond its own walk, which
+// is what makes partial evaluation (candidate sets that shrink over time)
+// natural.
+class CrashSim : public SimRankAlgorithm {
+ public:
+  explicit CrashSim(const CrashSimOptions& options);
+
+  std::string name() const override { return "CrashSim"; }
+  void Bind(const Graph* g) override;
+  std::vector<double> SingleSource(NodeId u) override;
+  // True partial evaluation: cost O(tree + n_r * |candidates| * E[len]).
+  std::vector<double> Partial(NodeId u,
+                              std::span<const NodeId> candidates) override;
+
+  // Scores candidates against a pre-built source tree (CrashSim-T builds the
+  // tree once per snapshot for its pruning checks and reuses it here).
+  std::vector<double> PartialWithTree(const ReverseReachableTree& tree,
+                                      std::span<const NodeId> candidates);
+
+  // Builds the source tree with this instance's parameters.
+  ReverseReachableTree BuildTree(NodeId u) const;
+
+  // Derived parameters (exposed for tests and the pruning conditions).
+  int LMax() const;
+  int64_t TrialsFor(NodeId n) const;
+  const CrashSimOptions& options() const { return options_; }
+
+  // Corrected mode's diagonal corrections d(w), estimated at Bind; empty in
+  // paper mode. Shared with the multi-source batch evaluator.
+  const std::vector<double>& diagonal() const { return diag_; }
+
+ private:
+  CrashSimOptions options_;
+  double sqrt_c_ = 0.0;
+  Rng rng_;
+  std::vector<double> diag_;  // corrected mode; empty in paper mode
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_CORE_CRASHSIM_H_

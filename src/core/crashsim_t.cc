@@ -1,0 +1,210 @@
+#include "core/crashsim_t.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "graph/snapshot_diff.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace crashsim {
+
+CrashSimT::CrashSimT(const CrashSimTOptions& options)
+    : options_(options), crashsim_(options.crashsim) {}
+
+int64_t CrashSimT::CandidateEdgeCount(const Graph& g,
+                                      const std::vector<NodeId>& candidates) {
+  std::vector<char> in_set(static_cast<size_t>(g.num_nodes()), 0);
+  for (NodeId v : candidates) in_set[static_cast<size_t>(v)] = 1;
+  int64_t count = 0;
+  for (NodeId v : candidates) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (in_set[static_cast<size_t>(w)]) ++count;
+    }
+  }
+  return count;
+}
+
+TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
+                                 const TemporalQuery& query) {
+  CheckQueryInterval(tg, query);
+  Stopwatch timer;
+  TemporalAnswer answer;
+  CandidateFilter filter(query, tg.num_nodes());
+
+  SnapshotCursor cursor(&tg);
+  while (cursor.snapshot_index() < query.begin_snapshot) cursor.Advance();
+
+  // Snapshot T_1: full partial evaluation over all candidates (line 2).
+  crashsim_.Bind(&cursor.graph());
+  const int l_max = crashsim_.LMax();
+  ReverseReachableTree prev_tree = crashsim_.BuildTree(query.source);
+  {
+    const std::vector<double> scores =
+        crashsim_.PartialWithTree(prev_tree, filter.candidates());
+    answer.stats.scores_computed +=
+        static_cast<int64_t>(filter.candidates().size());
+    filter.Observe(scores);
+    ++answer.stats.snapshots_processed;
+  }
+
+  // Previous snapshot graph kept for difference pruning's tree comparison.
+  Graph prev_graph = cursor.graph();
+
+  for (int t = query.begin_snapshot + 1;
+       t <= query.end_snapshot && !filter.candidates().empty(); ++t) {
+    cursor.Advance();
+    const Graph& g = cursor.graph();
+    crashsim_.Bind(&g);
+
+    const EdgeDelta& delta = tg.Delta(t);
+    // Heads of all changed edges; the stability test and both pruning rules
+    // reason from them.
+    std::vector<NodeId> delta_heads;
+    delta_heads.reserve(delta.Size());
+    for (const Edge& e : delta.added) delta_heads.push_back(e.dst);
+    for (const Edge& e : delta.removed) delta_heads.push_back(e.dst);
+    std::sort(delta_heads.begin(), delta_heads.end());
+    delta_heads.erase(std::unique(delta_heads.begin(), delta_heads.end()),
+                      delta_heads.end());
+
+    // Source-tree stability (Algorithm 3 lines 5-7). The literal path
+    // rebuilds the tree and compares; the reuse path replaces the rebuild
+    // with a reverse-reachability membership test on stable snapshots.
+    bool tree_stable;
+    std::optional<ReverseReachableTree> fresh_tree;
+    if (options_.reuse_source_tree) {
+      std::vector<char> in_reach(static_cast<size_t>(g.num_nodes()), 0);
+      const int l_max = crashsim_.LMax();
+      for (NodeId w : ReverseReachableWithin(g, query.source, l_max)) {
+        in_reach[static_cast<size_t>(w)] = 1;
+      }
+      for (NodeId w :
+           ReverseReachableWithin(prev_graph, query.source, l_max)) {
+        in_reach[static_cast<size_t>(w)] = 1;
+      }
+      tree_stable = true;
+      for (NodeId y : delta_heads) {
+        if (in_reach[static_cast<size_t>(y)]) {
+          tree_stable = false;
+          break;
+        }
+      }
+      if (!tree_stable) fresh_tree = crashsim_.BuildTree(query.source);
+    } else {
+      fresh_tree = crashsim_.BuildTree(query.source);
+      tree_stable = (*fresh_tree == prev_tree);
+    }
+    const ReverseReachableTree& tree =
+        fresh_tree.has_value() ? *fresh_tree : prev_tree;
+
+    const std::vector<NodeId>& omega = filter.candidates();
+    const int64_t n_r = crashsim_.TrialsFor(g.num_nodes());
+
+    // recompute[i] — whether omega[i] needs a fresh score this snapshot.
+    std::vector<char> recompute(omega.size(), 1);
+
+    // Lines 7-19: pruning applies only when the source tree is stable
+    // across the adjacent snapshots.
+    if (tree_stable &&
+        (options_.enable_delta_pruning || options_.enable_difference_pruning)) {
+      ++answer.stats.stable_tree_snapshots;
+      const int64_t e_omega = CandidateEdgeCount(g, omega);
+      const int64_t e_delta = static_cast<int64_t>(delta.Size());
+
+      // Delta pruning (Property 1): affected area = nodes the changed edges'
+      // heads out-reach within l_max - 1 (Theorem 2); everything else keeps
+      // its score.
+      // |E(Delta)| < |Omega| * n_r / |E(Omega)|; an edgeless candidate set
+      // makes the bound vacuous (always cheaper to prune).
+      if (options_.enable_delta_pruning &&
+          (e_omega == 0 ||
+           e_delta < static_cast<int64_t>(omega.size()) * n_r / e_omega)) {
+        std::vector<char> affected(static_cast<size_t>(g.num_nodes()), 0);
+        for (NodeId y : delta_heads) {
+          for (NodeId v : ForwardReachableWithin(g, y, l_max - 1)) {
+            affected[static_cast<size_t>(v)] = 1;
+          }
+          // Removed edges no longer appear in g; cover the pre-delta
+          // reachability too so removals prune soundly.
+          for (NodeId v : ForwardReachableWithin(prev_graph, y, l_max - 1)) {
+            affected[static_cast<size_t>(v)] = 1;
+          }
+        }
+        for (size_t i = 0; i < omega.size(); ++i) {
+          if (!affected[static_cast<size_t>(omega[i])]) {
+            recompute[i] = 0;
+            ++answer.stats.pruned_by_delta;
+          }
+        }
+      }
+
+      // Difference pruning (Property 2): compare each remaining candidate's
+      // reverse-reachable tree across the two snapshots.
+      if (options_.enable_difference_pruning && e_omega < n_r) {
+        std::vector<char> maybe_changed;
+        if (options_.difference_reachability_prefilter) {
+          maybe_changed.assign(static_cast<size_t>(g.num_nodes()), 0);
+          for (NodeId y : delta_heads) {
+            for (NodeId v : ForwardReachableWithin(g, y, l_max)) {
+              maybe_changed[static_cast<size_t>(v)] = 1;
+            }
+            for (NodeId v : ForwardReachableWithin(prev_graph, y, l_max)) {
+              maybe_changed[static_cast<size_t>(v)] = 1;
+            }
+          }
+        }
+        for (size_t i = 0; i < omega.size(); ++i) {
+          if (!recompute[i]) continue;
+          const NodeId v = omega[i];
+          bool unchanged;
+          if (options_.difference_reachability_prefilter &&
+              !maybe_changed[static_cast<size_t>(v)]) {
+            unchanged = true;
+          } else {
+            const ReverseReachableTree cur = BuildRevReach(
+                g, v, l_max, options_.crashsim.mc.c, options_.crashsim.mode,
+                options_.crashsim.tree_prune_threshold);
+            const ReverseReachableTree prev = BuildRevReach(
+                prev_graph, v, l_max, options_.crashsim.mc.c,
+                options_.crashsim.mode, options_.crashsim.tree_prune_threshold);
+            unchanged = (cur == prev);
+          }
+          if (unchanged) {
+            recompute[i] = 0;
+            ++answer.stats.pruned_by_difference;
+          }
+        }
+      }
+    }
+
+    // Line 20: CrashSim over the residual set Omega'.
+    std::vector<NodeId> residual;
+    residual.reserve(omega.size());
+    for (size_t i = 0; i < omega.size(); ++i) {
+      if (recompute[i]) residual.push_back(omega[i]);
+    }
+    const std::vector<double> fresh =
+        crashsim_.PartialWithTree(tree, residual);
+    answer.stats.scores_computed += static_cast<int64_t>(residual.size());
+
+    // Merge fresh scores with carried-over scores, aligned with omega.
+    std::vector<double> merged(omega.size());
+    size_t fi = 0;
+    for (size_t i = 0; i < omega.size(); ++i) {
+      merged[i] = recompute[i] ? fresh[fi++]
+                               : filter.previous_score(omega[i]);
+    }
+    filter.Observe(merged);
+    ++answer.stats.snapshots_processed;
+
+    if (fresh_tree.has_value()) prev_tree = std::move(*fresh_tree);
+    prev_graph = g;
+  }
+
+  answer.nodes = filter.candidates();
+  answer.stats.total_seconds = timer.ElapsedSeconds();
+  return answer;
+}
+
+}  // namespace crashsim

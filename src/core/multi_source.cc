@@ -1,0 +1,77 @@
+#include "core/multi_source.h"
+
+#include <cmath>
+
+#include "simrank/walk.h"
+#include "util/logging.h"
+
+namespace crashsim {
+
+CrashSimMultiSource::CrashSimMultiSource(const CrashSimOptions& options)
+    : crashsim_(options), rng_(options.mc.seed) {}
+
+void CrashSimMultiSource::Bind(const Graph* g) {
+  graph_ = g;
+  crashsim_.Bind(g);
+}
+
+std::vector<std::vector<double>> CrashSimMultiSource::Compute(
+    std::span<const NodeId> sources, std::span<const NodeId> candidates) {
+  CRASHSIM_CHECK(graph_ != nullptr) << "Bind a graph first";
+  const Graph& g = *graph_;
+  const double sqrt_c = std::sqrt(crashsim_.options().mc.c);
+  const int l_max = crashsim_.LMax();
+  const int64_t n_r = crashsim_.TrialsFor(g.num_nodes());
+
+  // One tree per source (the only per-source cost).
+  std::vector<ReverseReachableTree> trees;
+  trees.reserve(sources.size());
+  for (NodeId u : sources) trees.push_back(crashsim_.BuildTree(u));
+
+  std::vector<std::vector<double>> result(
+      sources.size(), std::vector<double>(candidates.size(), 0.0));
+
+  // Corrected mode weights each meeting node by d(w); d depends only on w,
+  // so it folds into the shared walk pass the same for every source.
+  const bool corrected =
+      crashsim_.options().mode == RevReachMode::kCorrected;
+  const std::vector<double>& diag = crashsim_.diagonal();
+  CRASHSIM_CHECK(!corrected || !diag.empty())
+      << "corrected mode requires Bind() to estimate d(w)";
+
+  std::vector<NodeId> walk;
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    const NodeId v = candidates[ci];
+    // Per-candidate stream (same derivation as CrashSim's parallel mode, so
+    // batching does not depend on the candidate-set composition).
+    SplitMix64 mix(crashsim_.options().mc.seed ^
+                   static_cast<uint64_t>(static_cast<uint32_t>(v)) ^
+                   0xa5a5a5a5a5a5a5a5ULL);
+    Rng rng(mix.Next());
+    for (int64_t k = 0; k < n_r; ++k) {
+      SampleSqrtCWalk(g, v, sqrt_c, l_max, &rng, &walk);
+      for (int i = 2; i <= static_cast<int>(walk.size()); ++i) {
+        const NodeId w = walk[static_cast<size_t>(i - 1)];
+        const double weight =
+            corrected ? diag[static_cast<size_t>(w)] : 1.0;
+        // Score this walk position against every source tree at once.
+        for (size_t si = 0; si < trees.size(); ++si) {
+          const double hit = trees[si].Probability(i - 1, w);
+          if (hit != 0.0) result[si][ci] += hit * weight;
+        }
+      }
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(n_r);
+  for (size_t si = 0; si < sources.size(); ++si) {
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      result[si][ci] = (candidates[ci] == sources[si])
+                           ? 1.0
+                           : result[si][ci] * inv;
+    }
+  }
+  return result;
+}
+
+}  // namespace crashsim

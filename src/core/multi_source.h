@@ -1,0 +1,49 @@
+#ifndef CRASHSIM_CORE_MULTI_SOURCE_H_
+#define CRASHSIM_CORE_MULTI_SOURCE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/crashsim.h"
+#include "core/rev_reach.h"
+
+namespace crashsim {
+
+// Multi-source CrashSim: evaluates one candidate set against several sources
+// in a single pass. The observation is that Algorithm 1's per-trial work
+// factors into (a) sampling a sqrt(c)-walk from the candidate and (b) cheap
+// lookups into the source's reverse-reachable tree — and (a) does not depend
+// on the source at all. Scoring S sources therefore costs one tree build per
+// source plus a *single* set of candidate walks scored against all S trees:
+//   O(S * l_max * m  +  n_r * |Omega| * E[len] * S)
+// versus S independent runs that would re-sample S * n_r * |Omega| walks.
+// The walk-sampling share of a query is 60-80% of its time (see
+// bench_multi_source), so batching recovers most of it.
+//
+// Estimates are deterministic in (options.seed, candidate) and — by
+// construction — use the *same* walk sample for every source, which makes
+// per-source score differences lower-variance than independent runs (paired
+// sampling), a desirable property when ranking sources per candidate.
+class CrashSimMultiSource {
+ public:
+  explicit CrashSimMultiSource(const CrashSimOptions& options);
+
+  // (Re)binds to a graph (corrected mode re-estimates d(w) here).
+  void Bind(const Graph* g);
+
+  // result[s][i] = estimated s(sources[s], candidates[i]). Self-pairs score
+  // 1. Trial count follows the bound graph's size exactly as CrashSim's.
+  std::vector<std::vector<double>> Compute(std::span<const NodeId> sources,
+                                           std::span<const NodeId> candidates);
+
+  const CrashSimOptions& options() const { return crashsim_.options(); }
+
+ private:
+  CrashSim crashsim_;  // reused for tree building and derived parameters
+  const Graph* graph_ = nullptr;
+  Rng rng_;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_CORE_MULTI_SOURCE_H_

@@ -1,0 +1,115 @@
+#include "core/rev_reach.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crashsim {
+
+int64_t ReverseReachableTree::EntryCount() const {
+  int64_t total = 0;
+  for (const auto& level : levels_) total += static_cast<int64_t>(level.size());
+  return total;
+}
+
+std::vector<NodeId> ReverseReachableTree::SupportNodes() const {
+  std::vector<NodeId> nodes;
+  for (const auto& level : levels_) {
+    for (const Entry& e : level) nodes.push_back(e.node);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+bool operator==(const ReverseReachableTree& a, const ReverseReachableTree& b) {
+  return a.n_ == b.n_ && a.source_ == b.source_ && a.levels_ == b.levels_;
+}
+
+ReverseReachableTree BuildRevReach(const Graph& g, NodeId u, int l_max,
+                                   double c, RevReachMode mode,
+                                   double prune_threshold) {
+  CRASHSIM_CHECK(u >= 0 && u < g.num_nodes());
+  CRASHSIM_CHECK_GE(l_max, 0);
+  const double sqrt_c = std::sqrt(c);
+  const NodeId n = g.num_nodes();
+
+  ReverseReachableTree tree;
+  tree.n_ = n;
+  tree.source_ = u;
+  tree.dense_.assign(static_cast<size_t>(l_max + 1) * static_cast<size_t>(n),
+                     0.0f);
+  tree.levels_.resize(static_cast<size_t>(l_max + 1));
+
+  auto cell = [&](int level, NodeId v) -> float& {
+    return tree.dense_[static_cast<size_t>(level) * static_cast<size_t>(n) +
+                       static_cast<size_t>(v)];
+  };
+
+  cell(0, u) = 1.0f;
+  tree.levels_[0].push_back({u, 1.0f});
+
+  // first_parent[v] = first contributor to v on the level being built; -1
+  // when untouched. Reset lazily via the touched list.
+  std::vector<NodeId> first_parent(static_cast<size_t>(n), -1);
+  // parent_of[x] = recorded tree parent of x on the *current* level.
+  std::vector<NodeId> parent_of(static_cast<size_t>(n), -1);
+  std::vector<NodeId> next_parent_of(static_cast<size_t>(n), -1);
+  std::vector<NodeId> touched;
+
+  std::vector<ReverseReachableTree::Entry> frontier = tree.levels_[0];
+  parent_of[static_cast<size_t>(u)] = -1;
+
+  for (int level = 0; level < l_max && !frontier.empty(); ++level) {
+    touched.clear();
+    for (const auto& [x, prob] : frontier) {
+      const NodeId exclude = (mode == RevReachMode::kPaper)
+                                 ? parent_of[static_cast<size_t>(x)]
+                                 : -1;
+      const auto in = g.InNeighbors(x);
+      if (in.empty()) continue;
+      const double out_factor =
+          (mode == RevReachMode::kCorrected)
+              ? sqrt_c / static_cast<double>(in.size())
+              : 0.0;  // per-child factor computed below in paper mode
+      for (NodeId v : in) {
+        if (v == exclude) continue;
+        // Paper mode divides by the *child's* in-degree (Algorithm 2 line
+        // 12); the pseudocode leaves |I(v)| = 0 undefined, so clamp to 1 —
+        // such a child is a leaf of the tree either way.
+        const double factor =
+            (mode == RevReachMode::kPaper)
+                ? sqrt_c / static_cast<double>(std::max(1, g.InDegree(v)))
+                : out_factor;
+        float& slot = cell(level + 1, v);
+        if (first_parent[static_cast<size_t>(v)] < 0) {
+          first_parent[static_cast<size_t>(v)] = x;
+          touched.push_back(v);
+        }
+        slot += static_cast<float>(static_cast<double>(prob) * factor);
+      }
+    }
+    // Materialise the level: prune, sort, and roll the parent records.
+    auto& level_entries = tree.levels_[static_cast<size_t>(level + 1)];
+    level_entries.reserve(touched.size());
+    for (NodeId v : touched) {
+      float& slot = cell(level + 1, v);
+      if (slot > prune_threshold) {
+        level_entries.push_back({v, slot});
+        next_parent_of[static_cast<size_t>(v)] =
+            first_parent[static_cast<size_t>(v)];
+      } else {
+        slot = 0.0f;
+      }
+      first_parent[static_cast<size_t>(v)] = -1;
+    }
+    std::sort(level_entries.begin(), level_entries.end(),
+              [](const auto& a, const auto& b) { return a.node < b.node; });
+    parent_of.swap(next_parent_of);
+    frontier = level_entries;
+  }
+  return tree;
+}
+
+}  // namespace crashsim

@@ -1,0 +1,93 @@
+#ifndef CRASHSIM_CORE_REV_REACH_H_
+#define CRASHSIM_CORE_REV_REACH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crashsim {
+
+// Which revReach recurrence to run.
+//
+// kPaper reproduces Algorithm 2 verbatim: expanding tree node (l, x) adds
+// child (l+1, v) for each in-neighbour v of x except x's tree parent, with
+//   U(l+1, v) = sqrt(c) / |I(v)| * U(l, x).
+// The |I(v)| denominator and the parent exclusion match the paper's worked
+// Example 2 exactly (U(1,B)=0.25 with |I(B)|=2, U(1,C)=0.167 with |I(C)|=3).
+// Contributions to the same (level, node) cell are summed — the pseudocode
+// stores U as a matrix, so distinct tree branches landing on one cell must
+// collapse — and each cell's excluded parent is its first contributor,
+// mirroring the FIFO order of the paper's queue. Note this recurrence is
+// *not* the true walk marginal (that would divide by |I(x)|); it is what the
+// published algorithm computes.
+//
+// kCorrected computes the true sqrt(c)-walk occupancy marginal
+//   U(l+1, v) += sqrt(c) / |I(x)| * U(l, x)  for v in I(x),
+// i.e. U(l, v) = Pr[W(u) occupies v at step l]. Combined with diagonal
+// corrections d(w) in CrashSim's scoring this yields a consistent estimator
+// of SimRank (the SLING last-meeting decomposition); see DESIGN.md §3.
+enum class RevReachMode { kPaper, kCorrected };
+
+// The truncated reverse-reachable tree of a source u: U(level, v) for
+// level in [0, l_max]. Dense per-level lookup plus sorted sparse entry lists
+// (the sparse form drives CrashSim-T's tree-equality test and the pruning
+// rules' affected-area bookkeeping).
+class ReverseReachableTree {
+ public:
+  struct Entry {
+    NodeId node;
+    float prob;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  ReverseReachableTree() = default;
+
+  NodeId num_nodes() const { return n_; }
+  int max_level() const { return static_cast<int>(levels_.size()) - 1; }
+  NodeId source() const { return source_; }
+
+  // U(level, v); zero outside the stored range.
+  double Probability(int level, NodeId v) const {
+    if (level < 0 || level > max_level()) return 0.0;
+    return dense_[static_cast<size_t>(level) * static_cast<size_t>(n_) +
+                  static_cast<size_t>(v)];
+  }
+
+  // Sparse non-zero entries of each level, sorted by node id.
+  const std::vector<std::vector<Entry>>& levels() const { return levels_; }
+
+  // Total non-zero (level, node) cells.
+  int64_t EntryCount() const;
+
+  // Sorted unique nodes appearing at any level (the tree's support) —
+  // "the altered nodes in the reverse reachable tree" of Theorem 2 are
+  // detected against this set.
+  std::vector<NodeId> SupportNodes() const;
+
+  // Exact structural equality (same levels, nodes, and probabilities) —
+  // the test used by difference pruning (Property 2).
+  friend bool operator==(const ReverseReachableTree& a,
+                         const ReverseReachableTree& b);
+
+ private:
+  friend ReverseReachableTree BuildRevReach(const Graph&, NodeId, int, double,
+                                            RevReachMode, double);
+
+  NodeId n_ = 0;
+  NodeId source_ = -1;
+  std::vector<float> dense_;  // (max_level + 1) * n
+  std::vector<std::vector<Entry>> levels_;
+};
+
+// Builds the tree: l_max + 1 levels, level 0 = {u: 1}. Entries whose
+// probability falls below prune_threshold are dropped (0 keeps everything
+// non-zero; CrashSim uses a tiny epsilon-scaled default to bound work).
+// Worst case O(l_max * m), matching the paper's O(m)-per-level claim.
+ReverseReachableTree BuildRevReach(const Graph& g, NodeId u, int l_max,
+                                   double c, RevReachMode mode,
+                                   double prune_threshold = 0.0);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_CORE_REV_REACH_H_

@@ -1,0 +1,72 @@
+#include "core/score_series.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace crashsim {
+
+double ScoreSeries::Min() const {
+  return scores.empty() ? 0.0
+                        : *std::min_element(scores.begin(), scores.end());
+}
+
+double ScoreSeries::Max() const {
+  return scores.empty() ? 0.0
+                        : *std::max_element(scores.begin(), scores.end());
+}
+
+double ScoreSeries::Mean() const {
+  if (scores.empty()) return 0.0;
+  return std::accumulate(scores.begin(), scores.end(), 0.0) /
+         static_cast<double>(scores.size());
+}
+
+bool ScoreSeries::IsNonDecreasing(double tolerance) const {
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] < scores[i - 1] - tolerance) return false;
+  }
+  return true;
+}
+
+bool ScoreSeries::IsNonIncreasing(double tolerance) const {
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[i - 1] + tolerance) return false;
+  }
+  return true;
+}
+
+std::vector<ScoreSeries> ComputeScoreSeries(const TemporalGraph& tg,
+                                            NodeId source,
+                                            std::span<const NodeId> candidates,
+                                            int begin_snapshot,
+                                            int end_snapshot,
+                                            const CrashSimOptions& options) {
+  CRASHSIM_CHECK_GE(begin_snapshot, 0);
+  CRASHSIM_CHECK_LE(begin_snapshot, end_snapshot);
+  CRASHSIM_CHECK_LT(end_snapshot, tg.num_snapshots());
+  CRASHSIM_CHECK(source >= 0 && source < tg.num_nodes());
+
+  std::vector<ScoreSeries> series(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    series[i].node = candidates[i];
+    series[i].scores.reserve(
+        static_cast<size_t>(end_snapshot - begin_snapshot + 1));
+  }
+
+  CrashSim crashsim(options);
+  SnapshotCursor cursor(&tg);
+  while (cursor.snapshot_index() < begin_snapshot) cursor.Advance();
+  for (int t = begin_snapshot; t <= end_snapshot; ++t) {
+    crashsim.Bind(&cursor.graph());
+    const std::vector<double> scores = crashsim.Partial(source, candidates);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      series[i].scores.push_back(scores[i]);
+    }
+    if (t < end_snapshot) cursor.Advance();
+  }
+  return series;
+}
+
+}  // namespace crashsim

@@ -1,0 +1,42 @@
+#ifndef CRASHSIM_CORE_SCORE_SERIES_H_
+#define CRASHSIM_CORE_SCORE_SERIES_H_
+
+#include <vector>
+
+#include "core/crashsim.h"
+#include "graph/temporal_graph.h"
+
+namespace crashsim {
+
+// Per-snapshot SimRank score sequences — the raw "similarity trend" signal
+// Example 1 of the paper reasons about. Where the temporal queries reduce a
+// sequence to a yes/no predicate, this returns the sequence itself so
+// callers can plot it, fit trends, or build custom predicates.
+struct ScoreSeries {
+  NodeId node = 0;
+  // scores[i] = s_{begin+i}(source, node).
+  std::vector<double> scores;
+
+  // Convenience reductions used by the shipped queries.
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  // True if non-decreasing / non-increasing within `tolerance`.
+  bool IsNonDecreasing(double tolerance = 0.0) const;
+  bool IsNonIncreasing(double tolerance = 0.0) const;
+};
+
+// Computes the score series of every candidate against `source` over the
+// snapshot interval [begin, end] using CrashSim partial evaluation (one
+// revReach tree per snapshot, every candidate scored at every snapshot —
+// no query-driven shrinking, since the caller wants complete sequences).
+std::vector<ScoreSeries> ComputeScoreSeries(const TemporalGraph& tg,
+                                            NodeId source,
+                                            std::span<const NodeId> candidates,
+                                            int begin_snapshot,
+                                            int end_snapshot,
+                                            const CrashSimOptions& options);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_CORE_SCORE_SERIES_H_

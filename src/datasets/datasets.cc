@@ -1,0 +1,106 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/temporal_generators.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crashsim {
+
+const std::vector<DatasetSpec>& PaperDatasetSpecs() {
+  static const std::vector<DatasetSpec>* const kSpecs =
+      new std::vector<DatasetSpec>{
+          {"as733", "AS-733", /*undirected=*/true, 6474, 13233, 733,
+           "growth"},
+          {"as-caida", "AS-Caidi", /*undirected=*/false, 26475, 106762, 122,
+           "growth"},
+          {"wiki-vote", "Wiki-Vote", /*undirected=*/false, 7155, 103689, 100,
+           "copying+churn"},
+          {"hepth", "HepTh", /*undirected=*/true, 9877, 25998, 100,
+           "barabasi-albert+churn"},
+          {"hepph", "HepPh", /*undirected=*/false, 34546, 421578, 100,
+           "barabasi-albert+churn"},
+      };
+  return *kSpecs;
+}
+
+std::vector<std::string> DatasetNames() {
+  std::vector<std::string> names;
+  for (const DatasetSpec& s : PaperDatasetSpecs()) names.push_back(s.name);
+  return names;
+}
+
+namespace {
+
+const DatasetSpec& FindSpec(const std::string& name) {
+  for (const DatasetSpec& s : PaperDatasetSpecs()) {
+    if (s.name == name) return s;
+  }
+  CRASHSIM_CHECK(false) << "unknown dataset '" << name << "'";
+  __builtin_unreachable();
+}
+
+// Updates spec.nodes/edges/snapshots after generation so reports show what
+// actually ran.
+void RecordGenerated(const TemporalGraph& tg, DatasetSpec* spec) {
+  spec->nodes = tg.num_nodes();
+  spec->snapshots = tg.num_snapshots();
+  std::vector<Edge> last = tg.SnapshotEdges(tg.num_snapshots() - 1);
+  int64_t m = static_cast<int64_t>(last.size());
+  if (spec->undirected) m /= 2;  // stored symmetrised
+  spec->edges = m;
+}
+
+}  // namespace
+
+Dataset MakeDataset(const std::string& name, double scale,
+                    int snapshots_override, uint64_t seed) {
+  CRASHSIM_CHECK(scale > 0.0 && scale <= 1.0) << "scale " << scale;
+  const DatasetSpec& full = FindSpec(name);
+  DatasetSpec spec = full;
+  spec.nodes = std::max<NodeId>(
+      60, static_cast<NodeId>(std::lround(full.nodes * scale)));
+  if (snapshots_override > 0) spec.snapshots = snapshots_override;
+
+  // Edges scale with nodes so the degree regime (m/n) is preserved.
+  const double degree_ratio =
+      static_cast<double>(full.edges) / static_cast<double>(full.nodes);
+  const int edges_per_node =
+      std::max(1, static_cast<int>(std::lround(degree_ratio)));
+
+  Rng rng(seed ^ (std::hash<std::string>{}(name) * 0x9e3779b97f4a7c15ULL));
+  Dataset ds;
+
+  if (name == "as733" || name == "as-caida") {
+    GrowthOptions opt;
+    opt.num_snapshots = spec.snapshots;
+    opt.initial_fraction = 0.55;
+    opt.withdraw_rate = 0.004;
+    opt.edges_per_arrival = std::max(2, edges_per_node);
+    ds.temporal = GrowTemporalGraph(spec.nodes, spec.undirected, opt, &rng);
+  } else if (name == "wiki-vote") {
+    const Graph base = CopyingModel(spec.nodes, edges_per_node,
+                                    /*copy_prob=*/0.55, &rng);
+    ChurnOptions opt;
+    opt.num_snapshots = spec.snapshots;
+    opt.churn_rate = 0.01;
+    ds.temporal = EvolveWithChurn(base, opt, &rng);
+  } else {  // hepth, hepph
+    const Graph base =
+        BarabasiAlbert(spec.nodes, edges_per_node, spec.undirected, &rng);
+    ChurnOptions opt;
+    opt.num_snapshots = spec.snapshots;
+    opt.churn_rate = 0.008;
+    ds.temporal = EvolveWithChurn(base, opt, &rng);
+  }
+
+  RecordGenerated(ds.temporal, &spec);
+  ds.spec = spec;
+  ds.static_graph = ds.temporal.Snapshot(ds.temporal.num_snapshots() - 1);
+  return ds;
+}
+
+}  // namespace crashsim

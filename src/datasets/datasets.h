@@ -1,0 +1,54 @@
+#ifndef CRASHSIM_DATASETS_DATASETS_H_
+#define CRASHSIM_DATASETS_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+
+namespace crashsim {
+
+// Stand-ins for the five SNAP datasets of Table III. No network access is
+// available in this environment, so each dataset is generated synthetically
+// with a seeded model matched on the published statistics (type, n, m, t)
+// and the degree-skew regime of the original (see DESIGN.md §2). A scale
+// factor shrinks n (and m proportionally) so ground-truth computation stays
+// laptop-friendly; every harness prints the scale it ran at.
+
+struct DatasetSpec {
+  std::string name;        // canonical key, e.g. "as733"
+  std::string table_name;  // name used in the paper's Table III
+  bool undirected = false;
+  NodeId nodes = 0;        // target n
+  int64_t edges = 0;       // target m (undirected edges counted once)
+  int snapshots = 0;       // t
+  std::string model;       // generator family used for the stand-in
+};
+
+// The five datasets at the sizes published in Table III.
+const std::vector<DatasetSpec>& PaperDatasetSpecs();
+
+// Canonical keys accepted by MakeDataset: as733, as-caida, wiki-vote,
+// hepth, hepph.
+std::vector<std::string> DatasetNames();
+
+// A generated dataset: the temporal graph plus the static snapshot used for
+// the single-snapshot (Fig. 5) experiments (the final snapshot, where the
+// growth models have reached full size).
+struct Dataset {
+  DatasetSpec spec;  // the *generated* statistics (post-scaling)
+  TemporalGraph temporal;
+  Graph static_graph;
+};
+
+// Generates the named dataset at `scale` in (0, 1] of the published node
+// count (minimum 60 nodes). `snapshots_override` > 0 replaces the published
+// snapshot count (Fig. 7 varies it). Deterministic in (name, scale,
+// snapshots_override, seed). CHECK-fails on an unknown name.
+Dataset MakeDataset(const std::string& name, double scale = 1.0,
+                    int snapshots_override = 0, uint64_t seed = 7);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_DATASETS_DATASETS_H_

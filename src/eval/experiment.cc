@@ -1,0 +1,59 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace crashsim {
+
+void ResultTable::AddRow(std::vector<std::string> row) {
+  CRASHSIM_CHECK_EQ(row.size(), columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+void ResultTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  for (size_t i = 0; i < total; ++i) out << '-';
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void ResultTable::WriteCsv(std::ostream& out) const {
+  CsvWriter writer(&out);
+  writer.WriteHeader(columns_);
+  for (const auto& row : rows_) writer.WriteRow(row);
+}
+
+std::vector<NodeId> SampleDistinctNodes(NodeId n, int count, Rng* rng) {
+  const int want = std::min<int64_t>(count, n);
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(want));
+  while (static_cast<int>(out.size()) < want) {
+    const NodeId v =
+        static_cast<NodeId>(rng->NextBounded(static_cast<uint64_t>(n)));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace crashsim

@@ -1,0 +1,41 @@
+#ifndef CRASHSIM_EVAL_EXPERIMENT_H_
+#define CRASHSIM_EVAL_EXPERIMENT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/edge.h"
+#include "util/rng.h"
+
+namespace crashsim {
+
+// Fixed-column result table the benchmark harnesses print (aligned text for
+// the terminal, CSV for re-plotting).
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  // Column-aligned plain text with a header rule.
+  void Print(std::ostream& out) const;
+
+  // RFC-4180 CSV including the header.
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Samples `count` distinct node ids from [0, n) (count is clamped to n).
+// Deterministic in the rng state; used to pick benchmark query sources.
+std::vector<NodeId> SampleDistinctNodes(NodeId n, int count, Rng* rng);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_EVAL_EXPERIMENT_H_

@@ -1,0 +1,35 @@
+#ifndef CRASHSIM_EVAL_METRICS_H_
+#define CRASHSIM_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "graph/edge.h"
+
+namespace crashsim {
+
+// Max Error of a single-source result (Section V):
+//   ME = max_{v != u} |estimate(v) - truth(v)|.
+// Both vectors are indexed by node id and must have equal size.
+double MaxError(const std::vector<double>& estimate,
+                const std::vector<double>& truth, NodeId source);
+
+// Mean absolute error over v != u (a finer-grained companion to ME).
+double MeanAbsoluteError(const std::vector<double>& estimate,
+                         const std::vector<double>& truth, NodeId source);
+
+// The paper's precision of a temporal result set:
+//   precision = |v(k1) ∩ v(k2)| / max(k1, k2)
+// where v(k1) is the ground-truth set and v(k2) the evaluated set. Both
+// inputs must be sorted ascending. Defined as 1 when both are empty.
+double SetPrecision(const std::vector<NodeId>& truth,
+                    const std::vector<NodeId>& result);
+
+// Precision@k of a ranked single-source result against exact scores: the
+// fraction of the algorithm's top-k that appear in the exact top-k (source
+// excluded; ties broken by node id).
+double TopKPrecision(const std::vector<double>& estimate,
+                     const std::vector<double>& truth, NodeId source, int k);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_EVAL_METRICS_H_

@@ -1,0 +1,80 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace crashsim {
+
+GraphStats AnalyzeGraph(const Graph& g) {
+  GraphStats stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_edges = g.num_edges();
+
+  int64_t reciprocal = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int32_t in = g.InDegree(v);
+    const int32_t out = g.OutDegree(v);
+    stats.in_degrees.Add(in);
+    stats.out_degrees.Add(out);
+    stats.max_in_degree = std::max(stats.max_in_degree, in);
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    if (in == 0) ++stats.dead_end_nodes;
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (g.HasEdge(w, v)) ++reciprocal;
+    }
+  }
+  stats.reciprocity =
+      g.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(reciprocal) / static_cast<double>(g.num_edges());
+
+  // Weakly connected components via union-find over edges.
+  std::vector<NodeId> parent(static_cast<size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) parent[static_cast<size_t>(v)] = v;
+  std::vector<NodeId> stack;
+  auto find = [&](NodeId x) {
+    NodeId root = x;
+    while (parent[static_cast<size_t>(root)] != root) {
+      root = parent[static_cast<size_t>(root)];
+    }
+    while (parent[static_cast<size_t>(x)] != root) {
+      const NodeId next = parent[static_cast<size_t>(x)];
+      parent[static_cast<size_t>(x)] = root;
+      x = next;
+    }
+    return root;
+  };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      const NodeId a = find(v);
+      const NodeId b = find(w);
+      if (a != b) parent[static_cast<size_t>(a)] = b;
+    }
+  }
+  std::vector<NodeId> sizes(static_cast<size_t>(g.num_nodes()), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++sizes[static_cast<size_t>(find(v))];
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId s = sizes[static_cast<size_t>(v)];
+    if (s > 0) {
+      ++stats.weakly_connected_components;
+      stats.largest_component = std::max(stats.largest_component, s);
+    }
+  }
+  return stats;
+}
+
+std::string Summary(const GraphStats& stats) {
+  return StrFormat(
+      "n=%d m=%lld max_in=%d max_out=%d dead_ends=%d reciprocity=%.2f "
+      "wcc=%d largest=%d",
+      stats.num_nodes, static_cast<long long>(stats.num_edges),
+      stats.max_in_degree, stats.max_out_degree, stats.dead_end_nodes,
+      stats.reciprocity, stats.weakly_connected_components,
+      stats.largest_component);
+}
+
+}  // namespace crashsim

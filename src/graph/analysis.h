@@ -1,0 +1,38 @@
+#ifndef CRASHSIM_GRAPH_ANALYSIS_H_
+#define CRASHSIM_GRAPH_ANALYSIS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/histogram.h"
+
+namespace crashsim {
+
+// Structural statistics of a graph, used by the dataset reports to show the
+// stand-ins land in the degree regime of the originals, and by tests as
+// generator invariants.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  int64_t num_edges = 0;  // directed edge count
+  Histogram in_degrees;
+  Histogram out_degrees;
+  int32_t max_in_degree = 0;
+  int32_t max_out_degree = 0;
+  // Nodes with no in-neighbours (sqrt(c)-walk dead ends).
+  NodeId dead_end_nodes = 0;
+  // Fraction of directed edges whose reverse edge also exists.
+  double reciprocity = 0.0;
+  // Number of weakly connected components and the largest one's size.
+  NodeId weakly_connected_components = 0;
+  NodeId largest_component = 0;
+};
+
+// Computes all of the above in O(n + m log d).
+GraphStats AnalyzeGraph(const Graph& g);
+
+// One-line rendering for harness banners.
+std::string Summary(const GraphStats& stats);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_GRAPH_ANALYSIS_H_

@@ -1,0 +1,37 @@
+#ifndef CRASHSIM_GRAPH_EDGE_H_
+#define CRASHSIM_GRAPH_EDGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+namespace crashsim {
+
+// Node identifier. 32 bits covers every graph in the evaluation (n < 2^31)
+// at half the adjacency-array footprint of int64.
+using NodeId = int32_t;
+
+// A directed edge src -> dst. For undirected graphs the builder symmetrises,
+// so the rest of the library only ever sees directed edges.
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) = default;
+  friend auto operator<=>(const Edge& a, const Edge& b) = default;
+};
+
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    // 64-bit mix of the packed pair (splitmix-style finalizer).
+    uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(e.src)) << 32) |
+                 static_cast<uint32_t>(e.dst);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_GRAPH_EDGE_H_

@@ -1,0 +1,175 @@
+#include "graph/generators.h"
+
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace crashsim {
+
+Graph ErdosRenyi(NodeId n, int64_t m, bool undirected, Rng* rng) {
+  CRASHSIM_CHECK_GE(n, 2);
+  const int64_t max_edges = undirected
+                                ? static_cast<int64_t>(n) * (n - 1) / 2
+                                : static_cast<int64_t>(n) * (n - 1);
+  CRASHSIM_CHECK_LE(m, max_edges) << "too many edges requested";
+  std::unordered_set<Edge, EdgeHash> chosen;
+  chosen.reserve(static_cast<size_t>(m) * 2);
+  GraphBuilder b(n, undirected);
+  while (static_cast<int64_t>(chosen.size()) < m) {
+    NodeId u = static_cast<NodeId>(rng->NextBounded(static_cast<uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(static_cast<uint64_t>(n)));
+    if (u == v) continue;
+    if (undirected && u > v) std::swap(u, v);
+    if (chosen.insert(Edge{u, v}).second) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+Graph BarabasiAlbert(NodeId n, int edges_per_node, bool undirected, Rng* rng) {
+  CRASHSIM_CHECK_GE(edges_per_node, 1);
+  CRASHSIM_CHECK_GT(n, edges_per_node);
+  GraphBuilder b(n, undirected);
+  // `targets` holds one entry per edge endpoint, so uniform sampling from it
+  // is degree-proportional sampling.
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<size_t>(n) * static_cast<size_t>(edges_per_node) * 2);
+  // Seed clique over the first edges_per_node + 1 nodes.
+  const NodeId seed = static_cast<NodeId>(edges_per_node) + 1;
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < seed; ++v) {
+      b.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (NodeId u = seed; u < n; ++u) {
+    std::unordered_set<NodeId> picked;
+    while (static_cast<int>(picked.size()) < edges_per_node) {
+      const NodeId t = targets[rng->NextBounded(targets.size())];
+      if (t != u) picked.insert(t);
+    }
+    for (NodeId t : picked) {
+      if (undirected || rng->Bernoulli(0.5)) {
+        b.AddEdge(u, t);
+      } else {
+        // Directed graphs: randomise orientation. Strict new->old edges
+        // would make the stand-in a DAG on which sqrt(c)-walks die at the
+        // frontier; the real vote/citation graphs are cyclic.
+        b.AddEdge(t, u);
+      }
+      targets.push_back(u);
+      targets.push_back(t);
+    }
+  }
+  return b.Build();
+}
+
+Graph CopyingModel(NodeId n, int edges_per_node, double copy_prob, Rng* rng) {
+  CRASHSIM_CHECK_GE(edges_per_node, 1);
+  CRASHSIM_CHECK_GT(n, edges_per_node + 1);
+  // Out-adjacency kept incrementally for prototype copying.
+  std::vector<std::vector<NodeId>> out(static_cast<size_t>(n));
+  const NodeId seed = static_cast<NodeId>(edges_per_node) + 1;
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = 0; v < seed; ++v) {
+      if (u != v) out[static_cast<size_t>(u)].push_back(v);
+    }
+  }
+  for (NodeId u = seed; u < n; ++u) {
+    const NodeId proto =
+        static_cast<NodeId>(rng->NextBounded(static_cast<uint64_t>(u)));
+    const auto& proto_out = out[static_cast<size_t>(proto)];
+    std::unordered_set<NodeId> picked;
+    int attempts = 0;
+    while (static_cast<int>(picked.size()) < edges_per_node &&
+           attempts < edges_per_node * 20) {
+      ++attempts;
+      NodeId t;
+      if (!proto_out.empty() && rng->Bernoulli(copy_prob)) {
+        t = proto_out[rng->NextBounded(proto_out.size())];
+      } else {
+        t = static_cast<NodeId>(rng->NextBounded(static_cast<uint64_t>(u)));
+      }
+      if (t != u) picked.insert(t);
+    }
+    for (NodeId t : picked) out[static_cast<size_t>(u)].push_back(t);
+  }
+  GraphBuilder b(n, /*undirected=*/false);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : out[static_cast<size_t>(u)]) {
+      // Flip a quarter of the edges: keeps the copied in-degree skew but
+      // breaks the strict new->old DAG (real vote graphs are cyclic).
+      if (rng->Bernoulli(0.25)) {
+        b.AddEdge(v, u);
+      } else {
+        b.AddEdge(u, v);
+      }
+    }
+  }
+  return b.Build();
+}
+
+Graph PathGraph(NodeId n, bool undirected) {
+  GraphBuilder b(n, undirected);
+  for (NodeId u = 0; u + 1 < n; ++u) b.AddEdge(u, static_cast<NodeId>(u + 1));
+  return b.Build();
+}
+
+Graph CycleGraph(NodeId n, bool undirected) {
+  GraphBuilder b(n, undirected);
+  for (NodeId u = 0; u < n; ++u) {
+    b.AddEdge(u, static_cast<NodeId>((u + 1) % n));
+  }
+  return b.Build();
+}
+
+Graph CompleteGraph(NodeId n, bool undirected) {
+  GraphBuilder b(n, undirected);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = undirected ? static_cast<NodeId>(u + 1) : 0; v < n; ++v) {
+      if (u != v) b.AddEdge(u, v);
+    }
+  }
+  return b.Build();
+}
+
+Graph StarGraph(NodeId n, bool undirected) {
+  GraphBuilder b(n, undirected);
+  for (NodeId v = 1; v < n; ++v) b.AddEdge(0, v);
+  return b.Build();
+}
+
+Graph PaperExampleGraph() {
+  // Reverse-engineered from Example 2's worked numbers (see header comment):
+  //   I(A)={B,C} I(B)={A,E} I(C)={A,B,D} I(D)={B,C}
+  //   I(E)={B,H} I(F)={G,H} I(G)={D}     I(H)={F,G}
+  enum { A, B, C, D, E, F, G, H };
+  GraphBuilder b(8, /*undirected=*/false);
+  // u -> v encodes u ∈ I(v).
+  b.AddEdge(B, A);
+  b.AddEdge(C, A);
+  b.AddEdge(A, B);
+  b.AddEdge(E, B);
+  b.AddEdge(A, C);
+  b.AddEdge(B, C);
+  b.AddEdge(D, C);
+  b.AddEdge(B, D);
+  b.AddEdge(C, D);
+  b.AddEdge(B, E);
+  b.AddEdge(H, E);
+  b.AddEdge(G, F);
+  b.AddEdge(H, F);
+  b.AddEdge(D, G);
+  b.AddEdge(F, H);
+  b.AddEdge(G, H);
+  return b.Build();
+}
+
+const char* PaperExampleNodeName(NodeId v) {
+  static const char* kNames[] = {"A", "B", "C", "D", "E", "F", "G", "H"};
+  CRASHSIM_CHECK(v >= 0 && v < 8);
+  return kNames[v];
+}
+
+}  // namespace crashsim

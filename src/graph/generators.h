@@ -1,0 +1,48 @@
+#ifndef CRASHSIM_GRAPH_GENERATORS_H_
+#define CRASHSIM_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace crashsim {
+
+// Seeded synthetic graph generators. All are deterministic in (parameters,
+// rng state) so tests and benchmarks reproduce exactly.
+
+// G(n, m) Erdős–Rényi: m distinct edges sampled uniformly (no self-loops).
+// For undirected graphs m counts undirected edges.
+Graph ErdosRenyi(NodeId n, int64_t m, bool undirected, Rng* rng);
+
+// Barabási–Albert preferential attachment: nodes arrive one at a time and
+// attach `edges_per_node` edges to existing nodes with probability
+// proportional to degree. Produces the heavy-tailed degree skew of citation
+// and vote graphs. Directed variant points new -> old (citation direction).
+Graph BarabasiAlbert(NodeId n, int edges_per_node, bool undirected, Rng* rng);
+
+// Copying-model directed graph (Kleinberg et al.): each new node copies the
+// out-neighbourhood of a random prototype with probability `copy_prob`,
+// otherwise links uniformly. Yields power-law in-degree with tunable skew;
+// used for the Wiki-Vote-like stand-in where in-degree is the heavy tail.
+Graph CopyingModel(NodeId n, int edges_per_node, double copy_prob, Rng* rng);
+
+// Deterministic fixtures for unit tests.
+Graph PathGraph(NodeId n, bool undirected);
+Graph CycleGraph(NodeId n, bool undirected);
+Graph CompleteGraph(NodeId n, bool undirected);
+Graph StarGraph(NodeId n, bool undirected);  // node 0 is the hub
+
+// The 8-node example graph of the paper's Fig. 2 (nodes A..H = 0..7). Edges
+// are chosen to reproduce the worked revReach numbers of Example 2:
+// I(A)={B,C}, |I(B)|=2, |I(C)|=3, and the level-2/3 tree entries
+// {(2,E),(2,B),(2,D)} and {(3,H),(3,A),(3,E),(3,B)}.
+Graph PaperExampleGraph();
+
+// Node names for PaperExampleGraph ("A".."H").
+const char* PaperExampleNodeName(NodeId v);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_GRAPH_GENERATORS_H_

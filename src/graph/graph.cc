@@ -1,0 +1,26 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace crashsim {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  const auto out = OutNeighbors(u);
+  return std::binary_search(out.begin(), out.end(), v);
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges()));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : OutNeighbors(u)) edges.push_back(Edge{u, v});
+  }
+  return edges;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  return a.num_nodes_ == b.num_nodes_ && a.out_offsets_ == b.out_offsets_ &&
+         a.out_neighbors_ == b.out_neighbors_;
+}
+
+}  // namespace crashsim

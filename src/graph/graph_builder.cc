@@ -1,0 +1,78 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace crashsim {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes, bool undirected)
+    : num_nodes_(num_nodes), undirected_(undirected) {
+  CRASHSIM_CHECK_GE(num_nodes, 0);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  CRASHSIM_CHECK(u >= 0 && u < num_nodes_) << "bad src " << u;
+  CRASHSIM_CHECK(v >= 0 && v < num_nodes_) << "bad dst " << v;
+  if (u == v) return;
+  edges_.push_back(Edge{u, v});
+  if (undirected_) edges_.push_back(Edge{v, u});
+}
+
+void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  for (const Edge& e : edges) AddEdge(e.src, e.dst);
+}
+
+Graph GraphBuilder::Build() const {
+  std::vector<Edge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.undirected_ = undirected_;
+
+  // Out-CSR straight from the (src, dst)-sorted list.
+  g.out_offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  g.out_neighbors_.resize(sorted.size());
+  for (const Edge& e : sorted) ++g.out_offsets_[static_cast<size_t>(e.src) + 1];
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    g.out_offsets_[static_cast<size_t>(v) + 1] +=
+        g.out_offsets_[static_cast<size_t>(v)];
+  }
+  {
+    std::vector<int64_t> cursor(g.out_offsets_.begin(),
+                                g.out_offsets_.end() - 1);
+    for (const Edge& e : sorted) {
+      g.out_neighbors_[static_cast<size_t>(cursor[static_cast<size_t>(e.src)]++)] =
+          e.dst;
+    }
+  }
+
+  // In-CSR via counting sort on dst; sources fill in ascending order because
+  // the edge list is globally sorted by (src, dst).
+  g.in_offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  g.in_neighbors_.resize(sorted.size());
+  for (const Edge& e : sorted) ++g.in_offsets_[static_cast<size_t>(e.dst) + 1];
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    g.in_offsets_[static_cast<size_t>(v) + 1] +=
+        g.in_offsets_[static_cast<size_t>(v)];
+  }
+  {
+    std::vector<int64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const Edge& e : sorted) {
+      g.in_neighbors_[static_cast<size_t>(cursor[static_cast<size_t>(e.dst)]++)] =
+          e.src;
+    }
+  }
+  return g;
+}
+
+Graph BuildGraph(NodeId num_nodes, const std::vector<Edge>& edges,
+                 bool undirected) {
+  GraphBuilder b(num_nodes, undirected);
+  b.AddEdges(edges);
+  return b.Build();
+}
+
+}  // namespace crashsim

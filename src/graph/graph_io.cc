@@ -1,0 +1,148 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace crashsim {
+namespace {
+
+// Assigns dense ids in first-appearance order.
+class IdRemapper {
+ public:
+  NodeId Map(int64_t original) {
+    auto [it, inserted] = to_dense_.emplace(original, next_);
+    if (inserted) {
+      originals_.push_back(original);
+      ++next_;
+    }
+    return it->second;
+  }
+
+  NodeId size() const { return next_; }
+  std::vector<int64_t> TakeOriginals() { return std::move(originals_); }
+
+ private:
+  std::map<int64_t, NodeId> to_dense_;
+  std::vector<int64_t> originals_;
+  NodeId next_ = 0;
+};
+
+bool ParseLineFields(const std::string& line, size_t want,
+                     std::vector<int64_t>* out) {
+  const std::string_view trimmed = Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') {
+    out->clear();
+    return true;  // comment / blank: not an error, no fields
+  }
+  const std::vector<std::string> fields = SplitWhitespace(trimmed);
+  if (fields.size() < want) return false;
+  out->clear();
+  for (size_t i = 0; i < want; ++i) {
+    int64_t v;
+    if (!ParseInt64(fields[i], &v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ReadEdgeList(std::istream& in,
+                  std::vector<std::pair<int64_t, int64_t>>* edges,
+                  std::string* error) {
+  std::string line;
+  int lineno = 0;
+  std::vector<int64_t> fields;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!ParseLineFields(line, 2, &fields)) {
+      *error = StrFormat("line %d: expected 'src dst'", lineno);
+      return false;
+    }
+    if (fields.empty()) continue;
+    edges->emplace_back(fields[0], fields[1]);
+  }
+  return true;
+}
+
+bool LoadEdgeListFile(const std::string& path, bool undirected,
+                      LoadedGraph* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::vector<std::pair<int64_t, int64_t>> raw;
+  if (!ReadEdgeList(in, &raw, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  IdRemapper remap;
+  std::vector<Edge> edges;
+  edges.reserve(raw.size());
+  for (const auto& [src, dst] : raw) {
+    edges.push_back(Edge{remap.Map(src), remap.Map(dst)});
+  }
+  out->graph = BuildGraph(remap.size(), edges, undirected);
+  out->original_ids = remap.TakeOriginals();
+  return true;
+}
+
+void WriteEdgeList(const Graph& g, std::ostream& out) {
+  out << "# nodes " << g.num_nodes() << " directed-edges " << g.num_edges()
+      << "\n";
+  for (const Edge& e : g.Edges()) out << e.src << ' ' << e.dst << '\n';
+}
+
+bool LoadTemporalEdgeListFile(const std::string& path, bool undirected,
+                              LoadedTemporalGraph* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  std::vector<int64_t> fields;
+  IdRemapper remap;
+  // snapshot original index -> rows
+  std::map<int64_t, std::vector<Edge>> snapshots;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!ParseLineFields(line, 3, &fields)) {
+      *error = StrFormat("%s: line %d: expected 'src dst snapshot'",
+                         path.c_str(), lineno);
+      return false;
+    }
+    if (fields.empty()) continue;
+    snapshots[fields[2]].push_back(
+        Edge{remap.Map(fields[0]), remap.Map(fields[1])});
+  }
+  if (snapshots.empty()) {
+    *error = path + ": no snapshots";
+    return false;
+  }
+  TemporalGraphBuilder builder(remap.size(), undirected);
+  for (const auto& [t, edges] : snapshots) builder.AddSnapshot(edges);
+  out->graph = builder.Build();
+  out->original_ids = remap.TakeOriginals();
+  return true;
+}
+
+void WriteTemporalEdgeList(const TemporalGraph& tg, std::ostream& out) {
+  out << "# nodes " << tg.num_nodes() << " snapshots " << tg.num_snapshots()
+      << "\n";
+  for (int t = 0; t < tg.num_snapshots(); ++t) {
+    for (const Edge& e : tg.SnapshotEdges(t)) {
+      out << e.src << ' ' << e.dst << ' ' << t << '\n';
+    }
+  }
+}
+
+}  // namespace crashsim

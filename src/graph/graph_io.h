@@ -1,0 +1,56 @@
+#ifndef CRASHSIM_GRAPH_GRAPH_IO_H_
+#define CRASHSIM_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+
+namespace crashsim {
+
+// Plain-text edge list IO in the SNAP format the paper's datasets ship in:
+// one "src dst" pair per line, '#' comments, arbitrary non-contiguous ids
+// (remapped densely on load). Temporal files carry a third column
+// "src dst snapshot".
+
+// Result of loading a static edge list.
+struct LoadedGraph {
+  Graph graph;
+  // Maps dense internal NodeId -> original id from the file.
+  std::vector<int64_t> original_ids;
+};
+
+// Parses "src dst" lines from a stream. Throws nothing; returns false and
+// sets *error on malformed input.
+bool ReadEdgeList(std::istream& in, std::vector<std::pair<int64_t, int64_t>>* edges,
+                  std::string* error);
+
+// Loads a static graph from a file. On failure returns false and sets *error.
+bool LoadEdgeListFile(const std::string& path, bool undirected,
+                      LoadedGraph* out, std::string* error);
+
+// Writes "src dst" lines (dense internal ids).
+void WriteEdgeList(const Graph& g, std::ostream& out);
+
+// Result of loading a temporal edge list.
+struct LoadedTemporalGraph {
+  TemporalGraph graph;
+  std::vector<int64_t> original_ids;
+};
+
+// Loads "src dst snapshot" lines; snapshot indices are remapped to dense
+// 0..T-1 preserving order, and each snapshot's edge set is *cumulative over
+// listed rows for that snapshot only* (i.e. a row states the edge exists in
+// that snapshot). On failure returns false and sets *error.
+bool LoadTemporalEdgeListFile(const std::string& path, bool undirected,
+                              LoadedTemporalGraph* out, std::string* error);
+
+// Writes one "src dst snapshot" row per edge per snapshot.
+void WriteTemporalEdgeList(const TemporalGraph& tg, std::ostream& out);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_GRAPH_GRAPH_IO_H_

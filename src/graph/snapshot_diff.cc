@@ -1,0 +1,73 @@
+#include "graph/snapshot_diff.h"
+
+#include <algorithm>
+
+namespace crashsim {
+
+EdgeDelta DiffEdgeSets(const std::vector<Edge>& before,
+                       const std::vector<Edge>& after) {
+  EdgeDelta delta;
+  std::set_difference(after.begin(), after.end(), before.begin(), before.end(),
+                      std::back_inserter(delta.added));
+  std::set_difference(before.begin(), before.end(), after.begin(), after.end(),
+                      std::back_inserter(delta.removed));
+  return delta;
+}
+
+void ApplyDelta(const EdgeDelta& delta, std::vector<Edge>* edges) {
+  if (!delta.removed.empty()) {
+    std::vector<Edge> kept;
+    kept.reserve(edges->size());
+    std::set_difference(edges->begin(), edges->end(), delta.removed.begin(),
+                        delta.removed.end(), std::back_inserter(kept));
+    edges->swap(kept);
+  }
+  if (!delta.added.empty()) {
+    std::vector<Edge> merged;
+    merged.reserve(edges->size() + delta.added.size());
+    std::set_union(edges->begin(), edges->end(), delta.added.begin(),
+                   delta.added.end(), std::back_inserter(merged));
+    edges->swap(merged);
+  }
+}
+
+namespace {
+
+// Shared bounded BFS; `forward` walks out-edges, otherwise in-edges.
+std::vector<NodeId> BoundedBfs(const Graph& g, NodeId start, int max_depth,
+                               bool forward) {
+  std::vector<NodeId> result;
+  std::vector<char> seen(static_cast<size_t>(g.num_nodes()), 0);
+  std::vector<NodeId> frontier{start};
+  seen[static_cast<size_t>(start)] = 1;
+  result.push_back(start);
+  for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      const auto neighbors = forward ? g.OutNeighbors(u) : g.InNeighbors(u);
+      for (NodeId v : neighbors) {
+        if (!seen[static_cast<size_t>(v)]) {
+          seen[static_cast<size_t>(v)] = 1;
+          next.push_back(v);
+          result.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<NodeId> ForwardReachableWithin(const Graph& g, NodeId start,
+                                           int max_depth) {
+  return BoundedBfs(g, start, max_depth, /*forward=*/true);
+}
+
+std::vector<NodeId> ReverseReachableWithin(const Graph& g, NodeId target,
+                                           int max_depth) {
+  return BoundedBfs(g, target, max_depth, /*forward=*/false);
+}
+
+}  // namespace crashsim

@@ -1,0 +1,40 @@
+#ifndef CRASHSIM_GRAPH_SNAPSHOT_DIFF_H_
+#define CRASHSIM_GRAPH_SNAPSHOT_DIFF_H_
+
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+
+namespace crashsim {
+
+// Computes the EdgeDelta turning sorted edge set `before` into sorted edge
+// set `after` (added = after \ before, removed = before \ after).
+EdgeDelta DiffEdgeSets(const std::vector<Edge>& before,
+                       const std::vector<Edge>& after);
+
+// Applies a delta to a sorted edge set in place, keeping it sorted. Removals
+// not present and additions already present are tolerated (no-ops).
+void ApplyDelta(const EdgeDelta& delta, std::vector<Edge>* edges);
+
+// Nodes reachable from `start` by following *out*-edges within `max_depth`
+// hops, including `start` itself. This is the "l_max - 1 length reachable
+// nodes of y" set of Theorem 2 (delta pruning's affected area): a changed
+// edge x->y perturbs the sqrt(c)-walk distribution of exactly the nodes
+// whose walks can reach y, i.e. the out-reachable set of y.
+std::vector<NodeId> ForwardReachableWithin(const Graph& g, NodeId start,
+                                           int max_depth);
+
+// Nodes that can reach `target` by following directed edges within
+// `max_depth` hops (BFS over *in*-edges), including `target`. This is the
+// support bound of the source's reverse-reachable tree: a changed edge
+// x->y can alter the tree of u only if y is in this set (its in-list and
+// in-degree are otherwise never consulted), which is what CrashSim-T's
+// source-tree reuse tests.
+std::vector<NodeId> ReverseReachableWithin(const Graph& g, NodeId target,
+                                           int max_depth);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_GRAPH_SNAPSHOT_DIFF_H_

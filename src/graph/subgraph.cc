@@ -1,0 +1,39 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace crashsim {
+
+InducedSubgraph BuildInducedSubgraph(const Graph& g,
+                                     const std::vector<NodeId>& nodes) {
+  InducedSubgraph sub;
+  sub.to_sub.assign(static_cast<size_t>(g.num_nodes()), -1);
+
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  sub.to_original.reserve(sorted.size());
+  for (NodeId v : sorted) {
+    CRASHSIM_CHECK(v >= 0 && v < g.num_nodes()) << "node " << v;
+    sub.to_sub[static_cast<size_t>(v)] =
+        static_cast<NodeId>(sub.to_original.size());
+    sub.to_original.push_back(v);
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(sub.to_original.size()),
+                       /*undirected=*/false);
+  for (NodeId v : sorted) {
+    const NodeId sv = sub.to_sub[static_cast<size_t>(v)];
+    for (NodeId w : g.OutNeighbors(v)) {
+      const NodeId sw = sub.to_sub[static_cast<size_t>(w)];
+      if (sw >= 0) builder.AddEdge(sv, sw);
+    }
+  }
+  sub.graph = builder.Build();
+  return sub;
+}
+
+}  // namespace crashsim

@@ -1,0 +1,32 @@
+#ifndef CRASHSIM_GRAPH_SUBGRAPH_H_
+#define CRASHSIM_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crashsim {
+
+// A node-induced subgraph plus the id mappings between the original graph
+// and the compacted one. Algorithm 3 notates its pruning-check traversals as
+// revReach over G(V, E_Ω) — the subgraph induced by the candidate set — and
+// this is the literal building block for that reading (the shipped
+// CrashSim-T runs the checks on the full graph, which is the conservative
+// superset; see crashsim_t.cc).
+struct InducedSubgraph {
+  Graph graph;
+  // original node id -> dense subgraph id, or -1 if not included.
+  std::vector<NodeId> to_sub;
+  // dense subgraph id -> original node id.
+  std::vector<NodeId> to_original;
+};
+
+// Builds the subgraph induced by `nodes` (sorted or not; duplicates
+// ignored). Keeps every original edge whose both endpoints are included.
+// O(Σ outdeg(v) log d + |nodes|).
+InducedSubgraph BuildInducedSubgraph(const Graph& g,
+                                     const std::vector<NodeId>& nodes);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_GRAPH_SUBGRAPH_H_

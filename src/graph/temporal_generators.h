@@ -1,0 +1,54 @@
+#ifndef CRASHSIM_GRAPH_TEMPORAL_GENERATORS_H_
+#define CRASHSIM_GRAPH_TEMPORAL_GENERATORS_H_
+
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace crashsim {
+
+// Parameters for evolving a static base graph into T snapshots, matching the
+// paper's synthetic construction ("we generate the synthetic datasets with
+// 100 snapshots" from the static SNAP graphs). Each step removes a fraction
+// of current edges and adds new preferential-attachment-ish edges so the
+// edge count stays roughly stationary while adjacent snapshots differ by a
+// small Δ — the regime CrashSim-T's pruning rules target.
+struct ChurnOptions {
+  int num_snapshots = 100;
+  // Fraction of current (undirected-collapsed) edges removed per step.
+  double churn_rate = 0.01;
+  // Additions per step as a fraction of current edges (defaults to matching
+  // churn_rate so |E| is stationary).
+  double add_rate = -1.0;
+  // Endpoint choice for added edges is degree-biased with this probability,
+  // uniform otherwise.
+  double preferential_prob = 0.7;
+};
+
+// Evolves `base` into a TemporalGraph whose snapshot 0 equals `base`.
+TemporalGraph EvolveWithChurn(const Graph& base, const ChurnOptions& options,
+                              Rng* rng);
+
+// Parameters for a growth-style temporal graph (the AS-733 regime: the
+// network accretes nodes/edges over time with occasional withdrawals).
+// Snapshot t exposes the first nodes_at(t) nodes' induced subgraph edges plus
+// churn. Node count is fixed at `n` (Definition 2 fixes V); nodes simply have
+// no incident edges before their arrival snapshot.
+struct GrowthOptions {
+  int num_snapshots = 100;
+  // Fraction of nodes already present in snapshot 0.
+  double initial_fraction = 0.5;
+  // Per-step probability that an existing edge is (temporarily) withdrawn.
+  double withdraw_rate = 0.005;
+  // Edges attached per arriving node (degree-biased endpoints).
+  int edges_per_arrival = 2;
+};
+
+// Builds a growth temporal graph over n nodes; if undirected, every edge is
+// symmetrised per snapshot.
+TemporalGraph GrowTemporalGraph(NodeId n, bool undirected,
+                                const GrowthOptions& options, Rng* rng);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_GRAPH_TEMPORAL_GENERATORS_H_

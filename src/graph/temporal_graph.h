@@ -1,0 +1,117 @@
+#ifndef CRASHSIM_GRAPH_TEMPORAL_GRAPH_H_
+#define CRASHSIM_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/graph.h"
+
+namespace crashsim {
+
+// Edge-set difference between two adjacent snapshots: the Δ of Section IV.
+// Both vectors are sorted and disjoint.
+struct EdgeDelta {
+  std::vector<Edge> added;
+  std::vector<Edge> removed;
+
+  bool Empty() const { return added.empty() && removed.empty(); }
+  size_t Size() const { return added.size() + removed.size(); }
+};
+
+// Temporal graph per Definition 2: a fixed node set V and a sequence of
+// snapshots G_1..G_T that differ only in their edge sets. Storage is
+// delta-encoded: the edges of G_1 plus the EdgeDelta between each adjacent
+// pair, which is exactly what CrashSim-T's pruning rules consume. Snapshots
+// are materialised on demand.
+//
+// All edges are stored in directed form; for undirected temporal graphs both
+// orientations appear in every snapshot and delta (the builder symmetrises).
+class TemporalGraph {
+ public:
+  TemporalGraph() = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  int num_snapshots() const { return static_cast<int>(deltas_.size()); }
+  bool undirected() const { return undirected_; }
+
+  // Delta between snapshot t-1 and t (1-based snapshots; Delta(0) encodes
+  // G_1 itself as pure additions).
+  const EdgeDelta& Delta(int t) const { return deltas_[static_cast<size_t>(t)]; }
+
+  // Materialises snapshot t, 0-based in [0, num_snapshots). O(edges at t).
+  Graph Snapshot(int t) const;
+
+  // Sorted directed edge set of snapshot t.
+  std::vector<Edge> SnapshotEdges(int t) const;
+
+  // Total number of directed edge events (additions + removals) across all
+  // deltas; proxies dataset churn in reports.
+  int64_t TotalEvents() const;
+
+ private:
+  friend class TemporalGraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  bool undirected_ = false;
+  std::vector<EdgeDelta> deltas_;  // deltas_[0].added == edges of G_1
+};
+
+// Builds a TemporalGraph from per-snapshot edge lists or explicit deltas.
+//
+//   TemporalGraphBuilder b(n, /*undirected=*/true);
+//   b.AddSnapshot(edges_t1);
+//   b.AddSnapshot(edges_t2);   // delta computed internally
+//   TemporalGraph tg = b.Build();
+class TemporalGraphBuilder {
+ public:
+  explicit TemporalGraphBuilder(NodeId num_nodes, bool undirected = false);
+
+  // Appends a snapshot given its full (directed or to-be-symmetrised) edge
+  // list; self-loops and duplicates are dropped.
+  void AddSnapshot(const std::vector<Edge>& edges);
+
+  // Appends a snapshot expressed as a delta on the previous snapshot. Must
+  // not be the first snapshot. Additions already present and removals not
+  // present are ignored after normalisation.
+  void AddDelta(const std::vector<Edge>& added, const std::vector<Edge>& removed);
+
+  int num_snapshots() const { return static_cast<int>(deltas_.size()); }
+
+  TemporalGraph Build() const;
+
+ private:
+  // Normalises an edge list: drops self-loops/dups, symmetrises if needed.
+  std::vector<Edge> Normalize(const std::vector<Edge>& edges) const;
+
+  NodeId num_nodes_;
+  bool undirected_;
+  std::vector<EdgeDelta> deltas_;
+  std::vector<Edge> current_;  // sorted edges of the latest snapshot
+};
+
+// Incremental cursor over a TemporalGraph's snapshots. Applies deltas to a
+// sorted edge set and rebuilds the CSR per step: O(m_t log m_t) per snapshot
+// instead of O(Σ events) re-scans, and it avoids keeping T graphs alive.
+class SnapshotCursor {
+ public:
+  // Positions at snapshot 0.
+  explicit SnapshotCursor(const TemporalGraph* tg);
+
+  int snapshot_index() const { return index_; }
+  const Graph& graph() const { return graph_; }
+
+  // Advances to the next snapshot; returns false when already at the last.
+  bool Advance();
+
+ private:
+  void Rebuild();
+
+  const TemporalGraph* tg_;
+  int index_ = 0;
+  std::vector<Edge> edges_;  // sorted
+  Graph graph_;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_GRAPH_TEMPORAL_GRAPH_H_

@@ -1,0 +1,184 @@
+#include "simrank/reads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace crashsim {
+
+Reads::Reads(const ReadsOptions& options)
+    : options_(options), sqrt_c_(std::sqrt(options.c)), rng_(options.seed) {
+  CRASHSIM_CHECK_GE(options.r, 1);
+  CRASHSIM_CHECK_GE(options.t, 1);
+  CRASHSIM_CHECK_GE(options.r_q, 0);
+  CRASHSIM_CHECK_LE(options.r_q, options.r);
+}
+
+void Reads::Bind(const Graph* g) {
+  set_graph(g);
+  const size_t n = static_cast<size_t>(g->num_nodes());
+  next_.assign(static_cast<size_t>(options_.r) * n, -1);
+  for (NodeId v = 0; v < g->num_nodes(); ++v) ResampleNode(v);
+}
+
+void Reads::ResampleNode(NodeId v) {
+  const Graph& g = *graph();
+  const auto in = g.InNeighbors(v);
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  for (int j = 0; j < options_.r; ++j) {
+    NodeId& slot = next_[static_cast<size_t>(j) * n + static_cast<size_t>(v)];
+    if (in.empty() || !rng_.Bernoulli(sqrt_c_)) {
+      slot = -1;
+    } else {
+      slot = in[rng_.NextBounded(in.size())];
+    }
+  }
+}
+
+void Reads::ApplyDelta(const EdgeDelta& delta, const Graph* updated) {
+  set_graph(updated);
+  // Only I(dst) changes for each event; repair those pointers.
+  std::unordered_set<NodeId> dirty;
+  for (const Edge& e : delta.added) dirty.insert(e.dst);
+  for (const Edge& e : delta.removed) dirty.insert(e.dst);
+  for (NodeId v : dirty) ResampleNode(v);
+}
+
+std::vector<double> Reads::SingleSource(NodeId u) {
+  const Graph& g = *graph();
+  CRASHSIM_CHECK(u >= 0 && u < g.num_nodes());
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<double> scores(n, 0.0);
+  const int steps = options_.t;
+
+  // Source path per sample: path[j * (steps + 1) + k] = node of u's walk at
+  // step k in sample j (-1 once stopped). Samples j < r_q use a fresh walk.
+  std::vector<NodeId> path(static_cast<size_t>(options_.r) *
+                               static_cast<size_t>(steps + 1),
+                           -1);
+  for (int j = 0; j < options_.r; ++j) {
+    NodeId* row = path.data() + static_cast<size_t>(j) * (steps + 1);
+    row[0] = u;
+    NodeId cur = u;
+    for (int k = 1; k <= steps; ++k) {
+      NodeId nxt;
+      if (j < options_.r_q) {
+        // Fresh sqrt(c)-walk step for the source.
+        const auto in = g.InNeighbors(cur);
+        if (in.empty() || !rng_.Bernoulli(sqrt_c_)) {
+          nxt = -1;
+        } else {
+          nxt = in[rng_.NextBounded(in.size())];
+        }
+      } else {
+        nxt = next_[static_cast<size_t>(j) * n + static_cast<size_t>(cur)];
+      }
+      row[k] = nxt;
+      if (nxt < 0) break;
+      cur = nxt;
+    }
+  }
+
+  // For every v, chase its pointer chain per sample and test stepwise
+  // coincidence with the source path.
+  const double inv_r = 1.0 / static_cast<double>(options_.r);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == u) continue;
+    int meets = 0;
+    for (int j = 0; j < options_.r; ++j) {
+      const NodeId* row = path.data() + static_cast<size_t>(j) * (steps + 1);
+      NodeId cur = v;
+      for (int k = 1; k <= steps; ++k) {
+        cur = next_[static_cast<size_t>(j) * n + static_cast<size_t>(cur)];
+        if (cur < 0) break;
+        const NodeId su = row[k];
+        if (su < 0) break;
+        if (su == cur) {
+          ++meets;
+          break;
+        }
+      }
+    }
+    scores[static_cast<size_t>(v)] = static_cast<double>(meets) * inv_r;
+  }
+  scores[static_cast<size_t>(u)] = 1.0;
+  return scores;
+}
+
+int64_t Reads::IndexBytes() const {
+  return static_cast<int64_t>(next_.size() * sizeof(NodeId));
+}
+
+namespace {
+constexpr uint32_t kReadsIndexMagic = 0x52454144;  // "READ"
+constexpr uint32_t kReadsIndexVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+void Reads::SaveIndex(std::ostream& out) const {
+  CRASHSIM_CHECK(graph() != nullptr) << "SaveIndex requires a bound graph";
+  WritePod(out, kReadsIndexMagic);
+  WritePod(out, kReadsIndexVersion);
+  WritePod(out, static_cast<int32_t>(options_.r));
+  WritePod(out, static_cast<int32_t>(options_.t));
+  WritePod(out, graph()->num_nodes());
+  out.write(reinterpret_cast<const char*>(next_.data()),
+            static_cast<std::streamsize>(next_.size() * sizeof(NodeId)));
+}
+
+bool Reads::LoadIndex(std::istream& in, std::string* error) {
+  CRASHSIM_CHECK(graph() != nullptr) << "LoadIndex requires a bound graph";
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  int32_t r = 0;
+  int32_t t = 0;
+  NodeId n = 0;
+  if (!ReadPod(in, &magic) || magic != kReadsIndexMagic) {
+    *error = "not a READS index (bad magic)";
+    return false;
+  }
+  if (!ReadPod(in, &version) || version != kReadsIndexVersion) {
+    *error = "unsupported READS index version";
+    return false;
+  }
+  if (!ReadPod(in, &r) || !ReadPod(in, &t) || !ReadPod(in, &n)) {
+    *error = "truncated READS index header";
+    return false;
+  }
+  if (r != options_.r || n != graph()->num_nodes()) {
+    *error = "READS index shape mismatch (r or node count differ)";
+    return false;
+  }
+  std::vector<NodeId> loaded(static_cast<size_t>(r) * static_cast<size_t>(n));
+  in.read(reinterpret_cast<char*>(loaded.data()),
+          static_cast<std::streamsize>(loaded.size() * sizeof(NodeId)));
+  if (!in) {
+    *error = "truncated READS index body";
+    return false;
+  }
+  for (NodeId pointer : loaded) {
+    if (pointer < -1 || pointer >= n) {
+      *error = "READS index contains out-of-range pointers";
+      return false;
+    }
+  }
+  options_.t = t;
+  next_ = std::move(loaded);
+  return true;
+}
+
+}  // namespace crashsim

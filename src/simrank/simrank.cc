@@ -1,0 +1,14 @@
+#include "simrank/simrank.h"
+
+namespace crashsim {
+
+std::vector<double> SimRankAlgorithm::Partial(
+    NodeId u, std::span<const NodeId> candidates) {
+  const std::vector<double> all = SingleSource(u);
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (NodeId v : candidates) out.push_back(all[static_cast<size_t>(v)]);
+  return out;
+}
+
+}  // namespace crashsim

@@ -1,0 +1,75 @@
+#ifndef CRASHSIM_SIMRANK_SIMRANK_H_
+#define CRASHSIM_SIMRANK_SIMRANK_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crashsim {
+
+// Shared knobs for the Monte-Carlo SimRank estimators (CrashSim, ProbeSim,
+// SLING, READS). Each algorithm interprets the subset it needs.
+struct SimRankOptions {
+  // Decay factor c of the SimRank definition (paper experiments: 0.6).
+  double c = 0.6;
+  // Maximum tolerable absolute error epsilon.
+  double epsilon = 0.025;
+  // Failure probability delta of the (epsilon, delta) guarantee.
+  double delta = 0.01;
+  // If > 0, run exactly this many Monte-Carlo trials instead of the
+  // closed-form count. The paper's formulas give ~10^4-10^5 trials at the
+  // published parameters, far beyond what its reported sub-second response
+  // times can have executed, so the harness sets explicit budgets and
+  // records them (see DESIGN.md §2).
+  int64_t trials_override = 0;
+  // Upper bound applied to the closed-form trial count (0 = no cap,
+  // i.e. paper-exact).
+  int64_t trials_cap = 20000;
+  // Hard cap on sampled walk lengths where the algorithm itself does not
+  // truncate (ProbeSim/SLING/READS). 0 = algorithm default. The residual
+  // tail mass beyond 64 steps at c=0.6 is (sqrt(c))^64 < 1e-7.
+  int max_walk_length = 0;
+  // RNG seed; every algorithm is fully deterministic given the seed.
+  uint64_t seed = 42;
+};
+
+// Common interface of every single-source SimRank implementation in this
+// library. An instance is bound to one graph at a time; Bind() rebuilds any
+// internal index, so index construction cost is attributable per snapshot
+// (the paper's Fig. 5 response times for SLING/READS include indexing time).
+class SimRankAlgorithm {
+ public:
+  virtual ~SimRankAlgorithm() = default;
+
+  // Short identifier used in benchmark output ("CrashSim", "ProbeSim", ...).
+  virtual std::string name() const = 0;
+
+  // (Re)binds the algorithm to `g` and rebuilds internal state. The graph
+  // must outlive the binding.
+  virtual void Bind(const Graph* g) = 0;
+
+  // Computes estimated SimRank scores s(u, v) for every node v; the result
+  // has size num_nodes with result[u] == 1.
+  virtual std::vector<double> SingleSource(NodeId u) = 0;
+
+  // Computes scores only for `candidates` (result aligned with it). The
+  // default evaluates SingleSource and gathers; CrashSim overrides this with
+  // true partial evaluation — its key structural advantage for temporal
+  // queries (Section IV-A).
+  virtual std::vector<double> Partial(NodeId u,
+                                      std::span<const NodeId> candidates);
+
+ protected:
+  const Graph* graph() const { return graph_; }
+  void set_graph(const Graph* g) { graph_ = g; }
+
+ private:
+  const Graph* graph_ = nullptr;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_SIMRANK_SIMRANK_H_

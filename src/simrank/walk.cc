@@ -1,0 +1,93 @@
+#include "simrank/walk.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crashsim {
+
+int SampleSqrtCWalk(const Graph& g, NodeId v, double sqrt_c, int max_len,
+                    Rng* rng, std::vector<NodeId>* out) {
+  out->clear();
+  out->push_back(v);
+  NodeId cur = v;
+  while (static_cast<int>(out->size()) < max_len) {
+    const auto in = g.InNeighbors(cur);
+    if (in.empty()) break;          // dead end: forced stop
+    if (!rng->Bernoulli(sqrt_c)) break;  // 1 - sqrt(c) stop probability
+    cur = in[rng->NextBounded(in.size())];
+    out->push_back(cur);
+  }
+  return static_cast<int>(out->size());
+}
+
+int CrashSimLMax(double c) {
+  CRASHSIM_CHECK(c > 0.0 && c < 1.0);
+  const double sqrt_c = std::sqrt(c);
+  const double l = (1.0 + sqrt_c) / ((1.0 - sqrt_c) * (1.0 - sqrt_c));
+  return static_cast<int>(std::ceil(l));
+}
+
+double CrashSimTruncationMass(double c, int l_max) {
+  // Geometric series: sum_{k=1..l_max} (sqrt c)^{k-1}(1 - sqrt c)
+  //                 = 1 - (sqrt c)^{l_max}.
+  return 1.0 - std::pow(std::sqrt(c), l_max);
+}
+
+double CrashSimTruncationError(double c, int l_max) {
+  return std::pow(std::sqrt(c), l_max);
+}
+
+int64_t CrashSimTrialCount(double c, double epsilon, double delta, NodeId n) {
+  CRASHSIM_CHECK_GT(epsilon, 0.0);
+  CRASHSIM_CHECK(delta > 0.0 && delta < 1.0);
+  const int l_max = CrashSimLMax(c);
+  const double p = CrashSimTruncationMass(c, l_max);
+  const double eps_t = CrashSimTruncationError(c, l_max);
+  const double denom = epsilon - p * eps_t;
+  CRASHSIM_CHECK_GT(denom, 0.0) << "epsilon too small for truncation error";
+  const double nr = 3.0 * c / (denom * denom) *
+                    std::log(static_cast<double>(n) / delta);
+  return static_cast<int64_t>(std::ceil(nr));
+}
+
+int64_t ProbeSimTrialCount(double c, double epsilon, double delta, NodeId n) {
+  CRASHSIM_CHECK_GT(epsilon, 0.0);
+  CRASHSIM_CHECK(delta > 0.0 && delta < 1.0);
+  const double nr = 3.0 * c / (epsilon * epsilon) *
+                    std::log(static_cast<double>(n) / delta);
+  return static_cast<int64_t>(std::ceil(nr));
+}
+
+std::vector<double> EstimateDiagonalCorrections(const Graph& g, double c,
+                                                int samples, int max_len,
+                                                Rng* rng) {
+  CRASHSIM_CHECK_GE(samples, 1);
+  const double sqrt_c = std::sqrt(c);
+  const NodeId n = g.num_nodes();
+  std::vector<double> d(static_cast<size_t>(n), 1.0);
+  std::vector<NodeId> wa;
+  std::vector<NodeId> wb;
+  for (NodeId w = 0; w < n; ++w) {
+    if (g.InDegree(w) == 0) continue;  // walks stop immediately: d(w) = 1
+    int never_met = 0;
+    for (int s = 0; s < samples; ++s) {
+      SampleSqrtCWalk(g, w, sqrt_c, max_len, rng, &wa);
+      SampleSqrtCWalk(g, w, sqrt_c, max_len, rng, &wb);
+      const size_t steps = std::min(wa.size(), wb.size());
+      bool met = false;
+      for (size_t t = 1; t < steps; ++t) {
+        if (wa[t] == wb[t]) {
+          met = true;
+          break;
+        }
+      }
+      if (!met) ++never_met;
+    }
+    d[static_cast<size_t>(w)] =
+        static_cast<double>(never_met) / static_cast<double>(samples);
+  }
+  return d;
+}
+
+}  // namespace crashsim

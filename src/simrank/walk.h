@@ -1,0 +1,52 @@
+#ifndef CRASHSIM_SIMRANK_WALK_H_
+#define CRASHSIM_SIMRANK_WALK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace crashsim {
+
+// sqrt(c)-walk machinery (Definition 1): at each step the walk stops with
+// probability 1 - sqrt(c), otherwise moves to a uniformly random in-neighbour
+// of the current node. A node with no in-neighbours is a forced stop.
+
+// Samples a reverse sqrt(c)-walk from v into *out (cleared first), including
+// the start node, truncated to at most max_len nodes (so at most max_len - 1
+// steps). Returns the walk length |W| = out->size().
+int SampleSqrtCWalk(const Graph& g, NodeId v, double sqrt_c, int max_len,
+                    Rng* rng, std::vector<NodeId>* out);
+
+// Derived quantities of the truncation analysis (Theorem 1 / Lemmas 1-3).
+// All take the decay factor c (not sqrt(c)).
+
+// l_max = (1 + sqrt(c)) / (1 - sqrt(c))^2, rounded up (Lemma 1).
+int CrashSimLMax(double c);
+
+// p = sum_{k=1..l_max} (sqrt(c))^{k-1} (1 - sqrt(c)) = 1 - (sqrt(c))^{l_max}:
+// the probability that an untruncated walk is no longer than l_max.
+double CrashSimTruncationMass(double c, int l_max);
+
+// epsilon_t = (sqrt(c))^{l_max}: the per-trial truncation error (Lemma 2).
+double CrashSimTruncationError(double c, int l_max);
+
+// n_r = 3c / (epsilon - p * epsilon_t)^2 * log(n / delta) (Lemma 3).
+int64_t CrashSimTrialCount(double c, double epsilon, double delta, NodeId n);
+
+// ProbeSim's untruncated trial count n_r' = 3c / epsilon^2 * log(n / delta)
+// (from [10], quoted in the proof of Lemma 3).
+int64_t ProbeSimTrialCount(double c, double epsilon, double delta, NodeId n);
+
+// Diagonal correction factors d(w) of the SLING decomposition
+//   s(u, v) = sum_t sum_w h_t(u, w) h_t(v, w) d(w):
+// d(w) = Pr[two independent sqrt(c)-walks from w never occupy the same node
+// at the same step >= 1]. Estimated by `samples` paired walks per node.
+// Shared by SLING and by CrashSim's corrected mode.
+std::vector<double> EstimateDiagonalCorrections(const Graph& g, double c,
+                                                int samples, int max_len,
+                                                Rng* rng);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_SIMRANK_WALK_H_

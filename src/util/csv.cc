@@ -1,0 +1,26 @@
+#include "util/csv.h"
+
+namespace crashsim {
+
+std::string CsvWriter::Escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << Escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace crashsim

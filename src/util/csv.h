@@ -1,0 +1,36 @@
+#ifndef CRASHSIM_UTIL_CSV_H_
+#define CRASHSIM_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crashsim {
+
+// Minimal CSV emitter. Fields containing commas, quotes, or newlines are
+// quoted per RFC 4180. The benchmark harnesses write their raw series
+// through this so results can be re-plotted outside the repo.
+class CsvWriter {
+ public:
+  // Does not own the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  // Writes one row; each value is escaped independently.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  // Convenience for mixed scalar rows used by the harness.
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+  // Escapes a single field (exposed for testing).
+  static std::string Escape(const std::string& field);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_CSV_H_

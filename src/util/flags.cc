@@ -1,0 +1,157 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace crashsim {
+namespace {
+
+const char* TypeName(int t) {
+  switch (t) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "string";
+    default: return "bool";
+  }
+}
+
+}  // namespace
+
+void FlagSet::DefineInt(const std::string& name, int64_t def,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kInt, help, std::to_string(def),
+                      std::to_string(def)};
+}
+
+void FlagSet::DefineDouble(const std::string& name, double def,
+                           const std::string& help) {
+  const std::string v = StrFormat("%.17g", def);
+  flags_[name] = Flag{Type::kDouble, help, v, v};
+}
+
+void FlagSet::DefineString(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kString, help, def, def};
+}
+
+void FlagSet::DefineBool(const std::string& name, bool def,
+                         const std::string& help) {
+  const std::string v = def ? "true" : "false";
+  flags_[name] = Flag{Type::kBool, help, v, v};
+}
+
+bool FlagSet::SetValue(const std::string& name, const std::string& value,
+                       std::string* error) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    *error = "unknown flag --" + name;
+    return false;
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt: {
+      int64_t v;
+      if (!ParseInt64(value, &v)) {
+        *error = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kDouble: {
+      double v;
+      if (!ParseDouble(value, &v)) {
+        *error = "flag --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kBool: {
+      if (value != "true" && value != "false" && value != "1" && value != "0") {
+        *error = "flag --" + name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kString:
+      break;
+  }
+  flag.value = value;
+  return true;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", Usage(argv[0]).c_str());
+      return false;
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // bare --flag enables a bool
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "error: flag --%s is missing a value\n%s",
+                     name.c_str(), Usage(argv[0]).c_str());
+        return false;
+      }
+    }
+    std::string error;
+    if (!SetValue(name, value, &error)) {
+      std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                   Usage(argv[0]).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  int64_t v = 0;
+  ParseInt64(flags_.at(name).value, &v);
+  return v;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  double v = 0;
+  ParseDouble(flags_.at(name).value, &v);
+  return v;
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  return flags_.at(name).value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  const std::string& v = flags_.at(name).value;
+  return v == "true" || v == "1";
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-18s %-7s %s (default: %s)\n", name.c_str(),
+                     TypeName(static_cast<int>(flag.type)), flag.help.c_str(),
+                     flag.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace crashsim

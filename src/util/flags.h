@@ -1,0 +1,63 @@
+#ifndef CRASHSIM_UTIL_FLAGS_H_
+#define CRASHSIM_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace crashsim {
+
+// Tiny command-line flag parser for the benchmark harness binaries.
+// Accepts --name=value and --name value forms plus bare --bool_flag.
+// Unknown flags are an error so typos in experiment sweeps fail loudly.
+//
+// Usage:
+//   FlagSet flags;
+//   flags.DefineInt("reps", 20, "repetitions per dataset");
+//   flags.DefineDouble("eps", 0.025, "max error");
+//   if (!flags.Parse(argc, argv)) return 1;   // prints usage on failure
+//   int reps = flags.GetInt("reps");
+class FlagSet {
+ public:
+  void DefineInt(const std::string& name, int64_t def, const std::string& help);
+  void DefineDouble(const std::string& name, double def,
+                    const std::string& help);
+  void DefineString(const std::string& name, const std::string& def,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool def, const std::string& help);
+
+  // Parses argv; on error prints a message plus usage to stderr and returns
+  // false. "--help" prints usage and returns false without an error message.
+  bool Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  // Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Renders the usage text.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;    // current value, textual
+    std::string default_value;
+  };
+
+  bool SetValue(const std::string& name, const std::string& value,
+                std::string* error);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_FLAGS_H_

@@ -1,0 +1,62 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crashsim {
+namespace {
+
+int BucketFor(int64_t value) {
+  int bucket = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void Histogram::Add(int64_t value) {
+  CRASHSIM_CHECK_GE(value, 0);
+  ++count_;
+  sum_ += value;
+  max_value_ = std::max(max_value_, value);
+  if (value == 0) {
+    ++zeros_;
+    return;
+  }
+  const int bucket = BucketFor(value);
+  if (bucket >= static_cast<int>(buckets_.size())) {
+    buckets_.resize(static_cast<size_t>(bucket) + 1, 0);
+  }
+  ++buckets_[static_cast<size_t>(bucket)];
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::BucketCount(int bucket) const {
+  if (bucket < 0 || bucket >= static_cast<int>(buckets_.size())) return 0;
+  return buckets_[static_cast<size_t>(bucket)];
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  if (zeros_ > 0) out += StrFormat("0:%lld ", static_cast<long long>(zeros_));
+  for (int b = 0; b < num_buckets(); ++b) {
+    const int64_t c = BucketCount(b);
+    if (c == 0) continue;
+    out += StrFormat("[%lld,%lld):%lld ", static_cast<long long>(1LL << b),
+                     static_cast<long long>(1LL << (b + 1)),
+                     static_cast<long long>(c));
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace crashsim

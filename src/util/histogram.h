@@ -1,0 +1,39 @@
+#ifndef CRASHSIM_UTIL_HISTOGRAM_H_
+#define CRASHSIM_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crashsim {
+
+// Power-of-two bucketed histogram for heavy-tailed integer quantities
+// (degrees, walk lengths, candidate-set sizes). Bucket b counts values in
+// [2^b, 2^(b+1)); value 0 has its own bucket.
+class Histogram {
+ public:
+  void Add(int64_t value);
+
+  int64_t count() const { return count_; }
+  int64_t zeros() const { return zeros_; }
+  int64_t max_value() const { return max_value_; }
+  double Mean() const;
+
+  // Count in bucket b (values in [2^b, 2^(b+1))).
+  int64_t BucketCount(int bucket) const;
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
+  // Renders "0:12 [1,2):5 [2,4):9 ..." skipping empty buckets.
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t zeros_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_value_ = 0;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_HISTOGRAM_H_

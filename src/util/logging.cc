@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace crashsim {
+namespace internal_logging {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel MinLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+void SetMinLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < MinLevel()) return;
+  const std::string msg = stream_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  const std::string msg = stream_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace crashsim

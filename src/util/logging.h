@@ -1,0 +1,74 @@
+#ifndef CRASHSIM_UTIL_LOGGING_H_
+#define CRASHSIM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace crashsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+// Global minimum level; messages below it are dropped.
+LogLevel MinLevel();
+void SetMinLevel(LogLevel level);
+
+// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ protected:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Aborts after emitting, for CHECK failures.
+class FatalLogMessage : public LogMessage {
+ public:
+  using LogMessage::LogMessage;
+  [[noreturn]] ~FatalLogMessage();
+};
+
+}  // namespace internal_logging
+
+// Sets the global log threshold (default: kInfo).
+inline void SetLogLevel(LogLevel level) {
+  internal_logging::SetMinLevel(level);
+}
+
+}  // namespace crashsim
+
+#define CRASHSIM_LOG(severity)                                        \
+  ::crashsim::internal_logging::LogMessage(                           \
+      ::crashsim::LogLevel::k##severity, __FILE__, __LINE__)
+
+// CHECK: always-on invariant assertion. Database-style code keeps these in
+// release builds; the cost is negligible next to graph traversal.
+#define CRASHSIM_CHECK(cond)                                          \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::crashsim::internal_logging::FatalLogMessage(                    \
+        ::crashsim::LogLevel::kError, __FILE__, __LINE__)             \
+        << "CHECK failed: " #cond " "
+
+#define CRASHSIM_CHECK_GE(a, b) CRASHSIM_CHECK((a) >= (b))
+#define CRASHSIM_CHECK_GT(a, b) CRASHSIM_CHECK((a) > (b))
+#define CRASHSIM_CHECK_LE(a, b) CRASHSIM_CHECK((a) <= (b))
+#define CRASHSIM_CHECK_LT(a, b) CRASHSIM_CHECK((a) < (b))
+#define CRASHSIM_CHECK_EQ(a, b) CRASHSIM_CHECK((a) == (b))
+#define CRASHSIM_CHECK_NE(a, b) CRASHSIM_CHECK((a) != (b))
+
+#endif  // CRASHSIM_UTIL_LOGGING_H_

@@ -1,0 +1,40 @@
+#ifndef CRASHSIM_UTIL_PARALLEL_H_
+#define CRASHSIM_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace crashsim {
+
+// Runs fn(begin, end) over [0, n) split into contiguous chunks across up to
+// hardware_concurrency() threads. Falls back to a single inline call for
+// small n. fn must be safe to run concurrently on disjoint ranges.
+inline void ParallelFor(int64_t n,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int64_t min_chunk = 1024) {
+  if (n <= 0) return;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int64_t max_threads = std::max<int64_t>(1, (n + min_chunk - 1) / min_chunk);
+  const int64_t num_threads = std::min<int64_t>(hw, max_threads);
+  if (num_threads == 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  const int64_t chunk = (n + num_threads - 1) / num_threads;
+  for (int64_t t = 0; t < num_threads; ++t) {
+    const int64_t begin = t * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_PARALLEL_H_

@@ -1,0 +1,81 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace crashsim {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& lane : s_) lane = sm.Next();
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+int Rng::GeometricLength(double p) {
+  // Number of consecutive successes + 1; equivalently inverse-CDF sampling
+  // of Geometric(1-p) on {1, 2, ...}. Inverse CDF avoids per-step draws.
+  if (p <= 0.0) return 1;
+  if (p >= 1.0) return std::numeric_limits<int>::max();
+  const double u = NextDouble();
+  // P(L > k) = p^k; L = 1 + floor(log(1-u)/log(p)).
+  const int len = 1 + static_cast<int>(std::log1p(-u) / std::log(p));
+  return len < 1 ? 1 : len;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  SplitMix64 sm(NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
+  Rng child(sm.Next());
+  return child;
+}
+
+}  // namespace crashsim

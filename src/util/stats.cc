@@ -1,0 +1,84 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace crashsim {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::Stddev() const { return std::sqrt(Variance()); }
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+SampleSummary Summarize(const std::vector<double>& values) {
+  SampleSummary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  OnlineStats acc;
+  for (double v : sorted) acc.Add(v);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.Stddev();
+  s.min = sorted.front();
+  s.p50 = PercentileSorted(sorted, 0.50);
+  s.p90 = PercentileSorted(sorted, 0.90);
+  s.p99 = PercentileSorted(sorted, 0.99);
+  s.max = sorted.back();
+  return s;
+}
+
+std::string ToString(const SampleSummary& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.6g sd=%.3g min=%.6g p50=%.6g p90=%.6g p99=%.6g "
+                "max=%.6g",
+                s.count, s.mean, s.stddev, s.min, s.p50, s.p90, s.p99, s.max);
+  return buf;
+}
+
+}  // namespace crashsim

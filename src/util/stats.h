@@ -1,0 +1,60 @@
+#ifndef CRASHSIM_UTIL_STATS_H_
+#define CRASHSIM_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace crashsim {
+
+// Streaming mean/variance accumulator (Welford). O(1) memory; numerically
+// stable for the long accumulation loops used by the benchmark harness.
+class OnlineStats {
+ public:
+  // Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double Variance() const;
+  double Stddev() const;
+
+  // Merges another accumulator into this one (parallel-friendly).
+  void Merge(const OnlineStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Five-number-style summary of a sample, computed in one pass over a copy.
+struct SampleSummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Computes a SampleSummary. The input is copied so callers keep ordering.
+SampleSummary Summarize(const std::vector<double>& values);
+
+// Linear-interpolated percentile of a *sorted* vector; q in [0, 1].
+double PercentileSorted(const std::vector<double>& sorted, double q);
+
+// Renders a summary as "mean=... p50=... p99=..." for log lines.
+std::string ToString(const SampleSummary& s);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_STATS_H_

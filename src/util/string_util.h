@@ -1,0 +1,36 @@
+#ifndef CRASHSIM_UTIL_STRING_UTIL_H_
+#define CRASHSIM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crashsim {
+
+// Splits on a single delimiter character; adjacent delimiters yield empty
+// fields (CSV semantics).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Splits on any run of ASCII whitespace; never yields empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// True if s begins with prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Parses signed/unsigned/floating values; returns false on any trailing
+// garbage or range error (strict, unlike atoi).
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable count, e.g. 12345678 -> "12,345,678".
+std::string WithThousands(int64_t v);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_STRING_UTIL_H_

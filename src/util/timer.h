@@ -1,0 +1,31 @@
+#ifndef CRASHSIM_UTIL_TIMER_H_
+#define CRASHSIM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace crashsim {
+
+// Wall-clock stopwatch with millisecond/second accessors. Starts running on
+// construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_TIMER_H_

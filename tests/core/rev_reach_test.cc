@@ -1,0 +1,183 @@
+#include "core/rev_reach.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace crashsim {
+namespace {
+
+enum { A, B, C, D, E, F, G, H };
+
+TEST(RevReachPaperModeTest, ReproducesExample2Level1) {
+  // Example 2 (c = 0.25, sqrt c = 0.5): U(1,B) = 1 * 0.5/|I(B)| = 0.25,
+  // U(1,C) = 1 * 0.5/|I(C)| = 0.167.
+  const Graph g = PaperExampleGraph();
+  const auto tree = BuildRevReach(g, A, 6, 0.25, RevReachMode::kPaper);
+  EXPECT_DOUBLE_EQ(tree.Probability(0, A), 1.0);
+  EXPECT_NEAR(tree.Probability(1, B), 0.25, 1e-6);
+  EXPECT_NEAR(tree.Probability(1, C), 0.5 / 3.0, 1e-6);
+  EXPECT_EQ(tree.levels()[1].size(), 2u);
+}
+
+TEST(RevReachPaperModeTest, ReproducesExample2Level2) {
+  // (2,E) = 0.0625, (2,B) = 0.0417, (2,D) = 0.0417.
+  const Graph g = PaperExampleGraph();
+  const auto tree = BuildRevReach(g, A, 6, 0.25, RevReachMode::kPaper);
+  EXPECT_NEAR(tree.Probability(2, E), 0.0625, 1e-4);
+  EXPECT_NEAR(tree.Probability(2, B), 0.0417, 1e-4);
+  EXPECT_NEAR(tree.Probability(2, D), 0.0417, 1e-4);
+  EXPECT_EQ(tree.levels()[2].size(), 3u);
+}
+
+TEST(RevReachPaperModeTest, ReproducesExample2Level3) {
+  // (3,H) = 0.0156, (3,A) = 0.0104, (3,E) = 0.0104, (3,B) = 0.0104.
+  const Graph g = PaperExampleGraph();
+  const auto tree = BuildRevReach(g, A, 6, 0.25, RevReachMode::kPaper);
+  EXPECT_NEAR(tree.Probability(3, H), 0.0156, 1e-4);
+  EXPECT_NEAR(tree.Probability(3, A), 0.0104, 1e-4);
+  EXPECT_NEAR(tree.Probability(3, E), 0.0104, 1e-4);
+  EXPECT_NEAR(tree.Probability(3, B), 0.0104, 1e-4);
+  EXPECT_EQ(tree.levels()[3].size(), 4u);
+}
+
+TEST(RevReachPaperModeTest, ReproducesExample2WalkScore) {
+  // Example 2 scores the sampled walk W(C) = (C, D, B, A) as
+  //   s_k(A,C) = U(0,C) + U(1,D) + U(2,B) + U(3,A)
+  //            = 0 + 0 + 0.0417 + 0.0104 = 0.0521.
+  const Graph g = PaperExampleGraph();
+  const auto tree = BuildRevReach(g, A, 6, 0.25, RevReachMode::kPaper);
+  const NodeId walk[] = {C, D, B, A};
+  double score = 0.0;
+  for (int i = 1; i <= 4; ++i) {
+    score += tree.Probability(i - 1, walk[i - 1]);
+  }
+  EXPECT_NEAR(score, 0.0521, 2e-4);
+  EXPECT_EQ(tree.Probability(0, C), 0.0);
+  EXPECT_EQ(tree.Probability(1, D), 0.0);
+}
+
+TEST(RevReachPaperModeTest, ParentExclusionBlocksBacktrack) {
+  // Path 0 <- 1 <- 2 (edges 1->0, 2->1): from level-1 node 1 the paper mode
+  // must not go back to 0.
+  const Graph g = BuildGraph(3, {{1, 0}, {2, 1}});
+  const auto tree = BuildRevReach(g, 0, 5, 0.25, RevReachMode::kPaper);
+  EXPECT_GT(tree.Probability(1, 1), 0.0);
+  EXPECT_GT(tree.Probability(2, 2), 0.0);
+  EXPECT_EQ(tree.Probability(2, 0), 0.0);  // would be the backtrack
+}
+
+TEST(RevReachCorrectedModeTest, LevelsAreTrueWalkMarginals) {
+  // In corrected mode level-l masses must sum to (sqrt c)^l when no node on
+  // the frontier is a dead end (every step survives with prob sqrt c).
+  const Graph g = CycleGraph(5, false);
+  const double c = 0.36;  // sqrt c = 0.6
+  const auto tree = BuildRevReach(g, 0, 8, c, RevReachMode::kCorrected);
+  for (int level = 0; level <= 8; ++level) {
+    double total = 0.0;
+    for (const auto& e : tree.levels()[static_cast<size_t>(level)]) {
+      total += e.prob;
+    }
+    EXPECT_NEAR(total, std::pow(std::sqrt(c), level), 1e-5)
+        << "level " << level;
+  }
+}
+
+TEST(RevReachCorrectedModeTest, MarginalMatchesMonteCarlo) {
+  // Empirical check: U(l, v) == Pr[walk from u occupies v at step l].
+  const Graph g = PaperExampleGraph();
+  const double c = 0.25;
+  const auto tree = BuildRevReach(g, A, 4, c, RevReachMode::kCorrected);
+
+  Rng rng(77);
+  const int kN = 400000;
+  std::vector<std::vector<int>> counts(5, std::vector<int>(8, 0));
+  std::vector<NodeId> walk;
+  for (int i = 0; i < kN; ++i) {
+    // Manual walk (not capped below 5 nodes).
+    NodeId cur = A;
+    counts[0][A] += 1;
+    for (int step = 1; step <= 4; ++step) {
+      const auto in = g.InNeighbors(cur);
+      if (in.empty() || !rng.Bernoulli(std::sqrt(c))) break;
+      cur = in[rng.NextBounded(in.size())];
+      counts[static_cast<size_t>(step)][static_cast<size_t>(cur)] += 1;
+    }
+  }
+  for (int level = 0; level <= 4; ++level) {
+    for (NodeId v = 0; v < 8; ++v) {
+      const double mc =
+          static_cast<double>(counts[static_cast<size_t>(level)]
+                                    [static_cast<size_t>(v)]) /
+          kN;
+      EXPECT_NEAR(tree.Probability(level, v), mc, 0.004)
+          << "level " << level << " node " << static_cast<int>(v);
+    }
+  }
+}
+
+TEST(RevReachTest, SupportNodesSortedUnique) {
+  const Graph g = PaperExampleGraph();
+  const auto tree = BuildRevReach(g, A, 6, 0.25, RevReachMode::kPaper);
+  const auto support = tree.SupportNodes();
+  EXPECT_TRUE(std::is_sorted(support.begin(), support.end()));
+  EXPECT_TRUE(std::adjacent_find(support.begin(), support.end()) ==
+              support.end());
+  // A, B, C appear by level 3 at the latest.
+  EXPECT_TRUE(std::binary_search(support.begin(), support.end(), A));
+  EXPECT_TRUE(std::binary_search(support.begin(), support.end(), B));
+}
+
+TEST(RevReachTest, EqualityDetectsGraphChange) {
+  const Graph g1 = PaperExampleGraph();
+  const auto t1 = BuildRevReach(g1, A, 6, 0.25, RevReachMode::kPaper);
+  const auto t1_again = BuildRevReach(g1, A, 6, 0.25, RevReachMode::kPaper);
+  EXPECT_TRUE(t1 == t1_again);
+
+  // Removing an edge inside the tree's reach changes it.
+  std::vector<Edge> edges = g1.Edges();
+  std::erase(edges, Edge{B, A});
+  const Graph g2 = BuildGraph(8, edges);
+  const auto t2 = BuildRevReach(g2, A, 6, 0.25, RevReachMode::kPaper);
+  EXPECT_FALSE(t1 == t2);
+}
+
+TEST(RevReachTest, EqualityIgnoresFarAwayChange) {
+  // An edge change outside the truncated reach leaves the tree identical.
+  const Graph g1 = BuildGraph(6, {{1, 0}, {2, 1}, {4, 5}});
+  const auto t1 = BuildRevReach(g1, 0, 3, 0.25, RevReachMode::kPaper);
+  const Graph g2 = BuildGraph(6, {{1, 0}, {2, 1}, {5, 4}});
+  const auto t2 = BuildRevReach(g2, 0, 3, 0.25, RevReachMode::kPaper);
+  EXPECT_TRUE(t1 == t2);
+}
+
+TEST(RevReachTest, PruneThresholdDropsTinyEntries) {
+  const Graph g = PaperExampleGraph();
+  const auto full = BuildRevReach(g, A, 6, 0.25, RevReachMode::kPaper, 0.0);
+  const auto pruned = BuildRevReach(g, A, 6, 0.25, RevReachMode::kPaper, 0.02);
+  EXPECT_LT(pruned.EntryCount(), full.EntryCount());
+  // Level 1 survives (0.25 and 0.167 both above threshold).
+  EXPECT_EQ(pruned.levels()[1].size(), 2u);
+}
+
+TEST(RevReachTest, SourceWithNoInNeighbours) {
+  const Graph g = BuildGraph(3, {{0, 1}, {0, 2}});
+  const auto tree = BuildRevReach(g, 0, 4, 0.25, RevReachMode::kPaper);
+  EXPECT_DOUBLE_EQ(tree.Probability(0, 0), 1.0);
+  EXPECT_EQ(tree.EntryCount(), 1);
+}
+
+TEST(RevReachTest, LMaxZeroKeepsOnlySource) {
+  const Graph g = PaperExampleGraph();
+  const auto tree = BuildRevReach(g, A, 0, 0.25, RevReachMode::kPaper);
+  EXPECT_EQ(tree.max_level(), 0);
+  EXPECT_EQ(tree.EntryCount(), 1);
+}
+
+}  // namespace
+}  // namespace crashsim

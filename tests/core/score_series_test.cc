@@ -1,0 +1,78 @@
+#include "core/score_series.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+
+namespace crashsim {
+namespace {
+
+TEST(ScoreSeriesReductionsTest, MinMaxMean) {
+  ScoreSeries s;
+  s.scores = {0.3, 0.1, 0.5};
+  EXPECT_DOUBLE_EQ(s.Min(), 0.1);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.5);
+  EXPECT_NEAR(s.Mean(), 0.3, 1e-12);
+}
+
+TEST(ScoreSeriesReductionsTest, EmptySeries) {
+  ScoreSeries s;
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_TRUE(s.IsNonDecreasing());
+  EXPECT_TRUE(s.IsNonIncreasing());
+}
+
+TEST(ScoreSeriesReductionsTest, Monotonicity) {
+  ScoreSeries up;
+  up.scores = {0.1, 0.1, 0.2};
+  EXPECT_TRUE(up.IsNonDecreasing());
+  EXPECT_FALSE(up.IsNonIncreasing());
+
+  ScoreSeries noisy;
+  noisy.scores = {0.2, 0.19, 0.3};
+  EXPECT_FALSE(noisy.IsNonDecreasing());
+  EXPECT_TRUE(noisy.IsNonDecreasing(0.02));
+}
+
+TEST(ComputeScoreSeriesTest, StaticStarSeriesAreFlatAtC) {
+  TemporalGraphBuilder b(5, /*undirected=*/true);
+  std::vector<Edge> star;
+  for (NodeId v = 1; v <= 4; ++v) star.push_back({0, v});
+  for (int t = 0; t < 3; ++t) b.AddSnapshot(star);
+  const TemporalGraph tg = b.Build();
+
+  CrashSimOptions opt;
+  opt.mc.c = 0.6;
+  opt.mc.trials_override = 20000;
+  opt.mc.seed = 4;
+  opt.mode = RevReachMode::kCorrected;
+  opt.diag_samples = 1000;
+
+  const std::vector<NodeId> candidates{0, 2, 3};
+  const auto series =
+      ComputeScoreSeries(tg, /*source=*/1, candidates, 0, 2, opt);
+  ASSERT_EQ(series.size(), 3u);
+  for (const auto& s : series) ASSERT_EQ(s.scores.size(), 3u);
+  // Co-leaves: every snapshot near c; hub: 0.
+  for (double x : series[1].scores) EXPECT_NEAR(x, 0.6, 0.03);
+  for (double x : series[2].scores) EXPECT_NEAR(x, 0.6, 0.03);
+  for (double x : series[0].scores) EXPECT_NEAR(x, 0.0, 0.01);
+}
+
+TEST(ComputeScoreSeriesTest, IntervalRespected) {
+  TemporalGraphBuilder b(3, /*undirected=*/true);
+  for (int t = 0; t < 5; ++t) b.AddSnapshot({{0, 1}, {1, 2}});
+  const TemporalGraph tg = b.Build();
+  CrashSimOptions opt;
+  opt.mc.trials_override = 50;
+  const std::vector<NodeId> candidates{2};
+  const auto series = ComputeScoreSeries(tg, 0, candidates, 1, 3, opt);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].scores.size(), 3u);
+  EXPECT_EQ(series[0].node, 2);
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,97 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(DatasetSpecsTest, TableThreeStatistics) {
+  const auto& specs = PaperDatasetSpecs();
+  ASSERT_EQ(specs.size(), 5u);
+  // Spot-check the published Table III numbers.
+  EXPECT_EQ(specs[0].name, "as733");
+  EXPECT_TRUE(specs[0].undirected);
+  EXPECT_EQ(specs[0].nodes, 6474);
+  EXPECT_EQ(specs[0].edges, 13233);
+  EXPECT_EQ(specs[0].snapshots, 733);
+  EXPECT_EQ(specs[4].name, "hepph");
+  EXPECT_FALSE(specs[4].undirected);
+  EXPECT_EQ(specs[4].nodes, 34546);
+}
+
+TEST(DatasetNamesTest, FiveCanonicalKeys) {
+  const auto names = DatasetNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"as733", "as-caida", "wiki-vote",
+                                             "hepth", "hepph"}));
+}
+
+TEST(MakeDatasetTest, ScaledAs733HasExpectedShape) {
+  const Dataset ds = MakeDataset("as733", 0.05, /*snapshots_override=*/20);
+  EXPECT_EQ(ds.spec.snapshots, 20);
+  EXPECT_EQ(ds.temporal.num_snapshots(), 20);
+  // ~5% of 6474.
+  EXPECT_NEAR(ds.spec.nodes, 324, 10);
+  EXPECT_EQ(ds.temporal.num_nodes(), ds.spec.nodes);
+  EXPECT_TRUE(ds.temporal.undirected());
+  // Static graph is the final snapshot.
+  EXPECT_TRUE(ds.static_graph ==
+              ds.temporal.Snapshot(ds.temporal.num_snapshots() - 1));
+}
+
+TEST(MakeDatasetTest, DirectedDatasetsAreDirected) {
+  for (const char* name : {"as-caida", "wiki-vote", "hepph"}) {
+    const Dataset ds = MakeDataset(name, 0.02, 5);
+    EXPECT_FALSE(ds.temporal.undirected()) << name;
+  }
+}
+
+TEST(MakeDatasetTest, DegreeRegimePreservedUnderScaling) {
+  // wiki-vote: m/n ~ 14.5 at full size; the scaled stand-in should stay in
+  // that ballpark.
+  const Dataset ds = MakeDataset("wiki-vote", 0.05, 5);
+  const double ratio =
+      static_cast<double>(ds.spec.edges) / static_cast<double>(ds.spec.nodes);
+  EXPECT_GT(ratio, 7.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST(MakeDatasetTest, DeterministicInSeed) {
+  const Dataset a = MakeDataset("hepth", 0.03, 6, 99);
+  const Dataset b = MakeDataset("hepth", 0.03, 6, 99);
+  EXPECT_TRUE(a.static_graph == b.static_graph);
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(a.temporal.SnapshotEdges(t), b.temporal.SnapshotEdges(t));
+  }
+  const Dataset c = MakeDataset("hepth", 0.03, 6, 100);
+  EXPECT_FALSE(a.static_graph == c.static_graph);
+}
+
+TEST(MakeDatasetTest, SnapshotsDifferAcrossTime) {
+  const Dataset ds = MakeDataset("hepth", 0.03, 8);
+  int nonempty_deltas = 0;
+  for (int t = 1; t < ds.temporal.num_snapshots(); ++t) {
+    if (!ds.temporal.Delta(t).Empty()) ++nonempty_deltas;
+  }
+  EXPECT_GT(nonempty_deltas, 4);
+}
+
+TEST(MakeDatasetTest, GrowthDatasetsGainEdgesOverTime) {
+  const Dataset ds = MakeDataset("as-caida", 0.02, 12);
+  const size_t first = ds.temporal.SnapshotEdges(0).size();
+  const size_t last = ds.temporal.SnapshotEdges(11).size();
+  EXPECT_GT(last, first);
+}
+
+TEST(MakeDatasetTest, MinimumSizeFloor) {
+  const Dataset ds = MakeDataset("as733", 0.0001, 3);
+  EXPECT_GE(ds.spec.nodes, 60);
+}
+
+TEST(MakeDatasetDeathTest, UnknownNameDies) {
+  EXPECT_DEATH(MakeDataset("no-such-dataset", 0.1, 3), "unknown dataset");
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,59 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(ResultTableTest, PrintsAlignedColumns) {
+  ResultTable table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(ResultTableTest, CsvOutput) {
+  ResultTable table({"a", "b"});
+  table.AddRow({"1", "x,y"});
+  std::ostringstream out;
+  table.WriteCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(SampleDistinctNodesTest, DistinctAndInRange) {
+  Rng rng(5);
+  const auto nodes = SampleDistinctNodes(100, 20, &rng);
+  ASSERT_EQ(nodes.size(), 20u);
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  for (NodeId v : nodes) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(SampleDistinctNodesTest, ClampsToPopulation) {
+  Rng rng(6);
+  const auto nodes = SampleDistinctNodes(5, 50, &rng);
+  EXPECT_EQ(nodes.size(), 5u);
+}
+
+TEST(SampleDistinctNodesTest, DeterministicInSeed) {
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(SampleDistinctNodes(1000, 10, &a), SampleDistinctNodes(1000, 10, &b));
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,41 @@
+// Guard rails and edge cases of the metric helpers.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace crashsim {
+namespace {
+
+using MetricsDeathTest = testing::Test;
+
+TEST(MetricsDeathTest, MaxErrorSizeMismatchDies) {
+  const std::vector<double> a{1.0, 0.5};
+  const std::vector<double> b{1.0};
+  EXPECT_DEATH(MaxError(a, b, 0), "CHECK failed");
+}
+
+TEST(MetricsDeathTest, TopKPrecisionRejectsZeroK) {
+  const std::vector<double> a{1.0, 0.5};
+  EXPECT_DEATH(TopKPrecision(a, a, 0, 0), "CHECK failed");
+}
+
+TEST(MetricsEdgeCaseTest, SingleNodeGraphHasZeroError) {
+  const std::vector<double> only_source{1.0};
+  EXPECT_EQ(MaxError(only_source, only_source, 0), 0.0);
+  EXPECT_EQ(MeanAbsoluteError(only_source, only_source, 0), 0.0);
+}
+
+TEST(MetricsEdgeCaseTest, TopKPrecisionKBeyondGraph) {
+  const std::vector<double> truth{1.0, 0.9, 0.8};
+  const std::vector<double> est{1.0, 0.8, 0.9};
+  // k = 10 > n-1: both top sets are {1, 2}; precision 1.
+  EXPECT_DOUBLE_EQ(TopKPrecision(est, truth, 0, 10), 1.0);
+}
+
+TEST(MetricsEdgeCaseTest, SetPrecisionSingletons) {
+  EXPECT_DOUBLE_EQ(SetPrecision({5}, {5}), 1.0);
+  EXPECT_DOUBLE_EQ(SetPrecision({5}, {6}), 0.0);
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(MaxErrorTest, IgnoresSourcePosition) {
+  const std::vector<double> est{0.5, 0.2, 0.3};
+  const std::vector<double> truth{1.0, 0.25, 0.3};
+  // Source 0 differs by 0.5 but is excluded; max over others is 0.05.
+  EXPECT_NEAR(MaxError(est, truth, 0), 0.05, 1e-12);
+}
+
+TEST(MaxErrorTest, SymmetricInSign) {
+  const std::vector<double> est{1.0, 0.1, 0.9};
+  const std::vector<double> truth{1.0, 0.3, 0.7};
+  EXPECT_NEAR(MaxError(est, truth, 0), 0.2, 1e-12);
+}
+
+TEST(MaxErrorTest, PerfectEstimateIsZero) {
+  const std::vector<double> v{1.0, 0.4, 0.2};
+  EXPECT_EQ(MaxError(v, v, 0), 0.0);
+}
+
+TEST(MeanAbsoluteErrorTest, AveragesOverNonSource) {
+  const std::vector<double> est{1.0, 0.2, 0.4};
+  const std::vector<double> truth{1.0, 0.3, 0.2};
+  EXPECT_NEAR(MeanAbsoluteError(est, truth, 0), (0.1 + 0.2) / 2, 1e-12);
+}
+
+TEST(SetPrecisionTest, PaperFormula) {
+  // precision = |∩| / max(k1, k2).
+  const std::vector<NodeId> truth{1, 2, 3, 4};
+  const std::vector<NodeId> result{2, 3, 5};
+  EXPECT_NEAR(SetPrecision(truth, result), 2.0 / 4.0, 1e-12);
+}
+
+TEST(SetPrecisionTest, IdenticalSetsPerfect) {
+  const std::vector<NodeId> s{1, 5, 9};
+  EXPECT_DOUBLE_EQ(SetPrecision(s, s), 1.0);
+}
+
+TEST(SetPrecisionTest, DisjointSetsZero) {
+  EXPECT_DOUBLE_EQ(SetPrecision({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(SetPrecisionTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(SetPrecision({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SetPrecision({1}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SetPrecision({}, {1}), 0.0);
+}
+
+TEST(SetPrecisionTest, AsymmetricSizesUseMax) {
+  const std::vector<NodeId> truth{1};
+  const std::vector<NodeId> result{1, 2, 3, 4, 5};
+  EXPECT_NEAR(SetPrecision(truth, result), 1.0 / 5.0, 1e-12);
+}
+
+TEST(TopKPrecisionTest, PerfectAgreement) {
+  const std::vector<double> truth{1.0, 0.9, 0.8, 0.1, 0.05};
+  EXPECT_DOUBLE_EQ(TopKPrecision(truth, truth, 0, 2), 1.0);
+}
+
+TEST(TopKPrecisionTest, PartialOverlap) {
+  const std::vector<double> truth{1.0, 0.9, 0.8, 0.1, 0.05};
+  const std::vector<double> est{1.0, 0.9, 0.05, 0.8, 0.1};
+  // Exact top-2 (excluding source 0): {1, 2}; estimated top-2: {1, 3}.
+  EXPECT_DOUBLE_EQ(TopKPrecision(est, truth, 0, 2), 0.5);
+}
+
+TEST(TopKPrecisionTest, SourceExcludedFromRanking) {
+  const std::vector<double> truth{0.2, 1.0, 0.9};
+  const std::vector<double> est{0.2, 1.0, 0.9};
+  // Source is 1; top-1 among {0, 2} is node 2 for both.
+  EXPECT_DOUBLE_EQ(TopKPrecision(est, truth, 1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace crashsim

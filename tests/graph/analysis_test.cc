@@ -1,0 +1,76 @@
+#include "graph/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace crashsim {
+namespace {
+
+TEST(AnalyzeGraphTest, PathGraphBasics) {
+  const Graph g = PathGraph(4, false);  // 0->1->2->3
+  const GraphStats s = AnalyzeGraph(g);
+  EXPECT_EQ(s.num_nodes, 4);
+  EXPECT_EQ(s.num_edges, 3);
+  EXPECT_EQ(s.max_in_degree, 1);
+  EXPECT_EQ(s.max_out_degree, 1);
+  EXPECT_EQ(s.dead_end_nodes, 1);  // node 0
+  EXPECT_DOUBLE_EQ(s.reciprocity, 0.0);
+  EXPECT_EQ(s.weakly_connected_components, 1);
+  EXPECT_EQ(s.largest_component, 4);
+}
+
+TEST(AnalyzeGraphTest, UndirectedIsFullyReciprocal) {
+  const Graph g = CycleGraph(6, /*undirected=*/true);
+  const GraphStats s = AnalyzeGraph(g);
+  EXPECT_DOUBLE_EQ(s.reciprocity, 1.0);
+  EXPECT_EQ(s.dead_end_nodes, 0);
+}
+
+TEST(AnalyzeGraphTest, ComponentsCounted) {
+  // Two components plus an isolated node.
+  const Graph g = BuildGraph(6, {{0, 1}, {1, 0}, {2, 3}});
+  const GraphStats s = AnalyzeGraph(g);
+  EXPECT_EQ(s.weakly_connected_components, 4);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_EQ(s.largest_component, 2);
+}
+
+TEST(AnalyzeGraphTest, StarDegrees) {
+  const Graph g = StarGraph(9, /*undirected=*/true);
+  const GraphStats s = AnalyzeGraph(g);
+  EXPECT_EQ(s.max_in_degree, 8);
+  EXPECT_EQ(s.max_out_degree, 8);
+  EXPECT_EQ(s.in_degrees.count(), 9);
+  // hub in bucket [8,16), leaves in bucket [1,2).
+  EXPECT_EQ(s.in_degrees.BucketCount(3), 1);
+  EXPECT_EQ(s.in_degrees.BucketCount(0), 8);
+}
+
+TEST(AnalyzeGraphTest, EmptyGraph) {
+  const Graph g;
+  const GraphStats s = AnalyzeGraph(g);
+  EXPECT_EQ(s.num_nodes, 0);
+  EXPECT_EQ(s.weakly_connected_components, 0);
+  EXPECT_DOUBLE_EQ(s.reciprocity, 0.0);
+}
+
+TEST(AnalyzeGraphTest, GeneratorInvariantBarabasiAlbertSkew) {
+  Rng rng(3);
+  const Graph g = BarabasiAlbert(600, 3, false, &rng);
+  const GraphStats s = AnalyzeGraph(g);
+  // Preferential attachment: single giant component, heavy in-degree tail.
+  EXPECT_EQ(s.weakly_connected_components, 1);
+  EXPECT_GT(s.max_in_degree, 10 * 3);
+}
+
+TEST(AnalyzeGraphTest, SummaryMentionsKeyFields) {
+  const Graph g = PathGraph(3, false);
+  const std::string text = Summary(AnalyzeGraph(g));
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("wcc=1"), std::string::npos);
+  EXPECT_NE(text.find("reciprocity="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,43 @@
+#include "graph/edge.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(EdgeTest, EqualityAndOrdering) {
+  EXPECT_EQ((Edge{1, 2}), (Edge{1, 2}));
+  EXPECT_NE((Edge{1, 2}), (Edge{2, 1}));
+  EXPECT_LT((Edge{1, 2}), (Edge{1, 3}));
+  EXPECT_LT((Edge{1, 9}), (Edge{2, 0}));  // src dominates
+}
+
+TEST(EdgeHashTest, DistinguishesOrientation) {
+  EdgeHash h;
+  EXPECT_NE(h(Edge{1, 2}), h(Edge{2, 1}));
+}
+
+TEST(EdgeHashTest, UsableInUnorderedSet) {
+  std::unordered_set<Edge, EdgeHash> set;
+  set.insert(Edge{1, 2});
+  set.insert(Edge{1, 2});
+  set.insert(Edge{2, 1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Edge{1, 2}));
+  EXPECT_FALSE(set.contains(Edge{3, 4}));
+}
+
+TEST(EdgeHashTest, LowCollisionOnDenseIdRange) {
+  // Sanity: the mixed hash should not collapse a small grid of edges.
+  EdgeHash h;
+  std::unordered_set<size_t> hashes;
+  for (NodeId a = 0; a < 64; ++a) {
+    for (NodeId b = 0; b < 64; ++b) hashes.insert(h(Edge{a, b}));
+  }
+  EXPECT_GT(hashes.size(), 4000u);  // 4096 pairs, near-zero collisions
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,137 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(50, 120, /*undirected=*/false, &rng);
+  EXPECT_EQ(g.num_nodes(), 50);
+  EXPECT_EQ(g.num_edges(), 120);
+}
+
+TEST(ErdosRenyiTest, UndirectedDoublesStoredEdges) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(30, 40, /*undirected=*/true, &rng);
+  EXPECT_EQ(g.num_edges(), 80);
+  for (const Edge& e : g.Edges()) EXPECT_TRUE(g.HasEdge(e.dst, e.src));
+}
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(ErdosRenyi(40, 80, false, &a), ErdosRenyi(40, 80, false, &b));
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  Rng rng(3);
+  const Graph g = ErdosRenyi(20, 100, false, &rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_FALSE(g.HasEdge(v, v));
+}
+
+TEST(BarabasiAlbertTest, SizesAndSkew) {
+  Rng rng(4);
+  const int k = 3;
+  const Graph g = BarabasiAlbert(500, k, /*undirected=*/false, &rng);
+  EXPECT_EQ(g.num_nodes(), 500);
+  // Seed clique + k per arrival.
+  const int64_t expected = (k + 1) * k / 2 + (500 - (k + 1)) * k;
+  EXPECT_EQ(g.num_edges(), expected);
+  // Heavy tail: the max in-degree should be far above the mean.
+  int32_t max_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  const double mean_in = static_cast<double>(g.num_edges()) / g.num_nodes();
+  EXPECT_GT(max_in, 5 * mean_in);
+}
+
+TEST(BarabasiAlbertTest, UndirectedVariantSymmetric) {
+  Rng rng(5);
+  const Graph g = BarabasiAlbert(100, 2, /*undirected=*/true, &rng);
+  EXPECT_TRUE(g.undirected());
+  for (const Edge& e : g.Edges()) EXPECT_TRUE(g.HasEdge(e.dst, e.src));
+}
+
+TEST(CopyingModelTest, ProducesRequestedNodes) {
+  Rng rng(6);
+  const Graph g = CopyingModel(300, 5, 0.5, &rng);
+  EXPECT_EQ(g.num_nodes(), 300);
+  EXPECT_GT(g.num_edges(), 300);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_FALSE(g.HasEdge(v, v));
+}
+
+TEST(CopyingModelTest, InDegreeSkewGrowsWithCopyProb) {
+  Rng rng1(8);
+  Rng rng2(8);
+  const Graph low = CopyingModel(400, 4, 0.1, &rng1);
+  const Graph high = CopyingModel(400, 4, 0.9, &rng2);
+  auto max_in = [](const Graph& g) {
+    int32_t m = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) m = std::max(m, g.InDegree(v));
+    return m;
+  };
+  EXPECT_GT(max_in(high), max_in(low));
+}
+
+TEST(FixtureGraphsTest, PathGraph) {
+  const Graph g = PathGraph(4, false);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+}
+
+TEST(FixtureGraphsTest, CycleGraph) {
+  const Graph g = CycleGraph(5, false);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_TRUE(g.HasEdge(4, 0));
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.InDegree(v), 1);
+    EXPECT_EQ(g.OutDegree(v), 1);
+  }
+}
+
+TEST(FixtureGraphsTest, CompleteGraph) {
+  const Graph g = CompleteGraph(4, false);
+  EXPECT_EQ(g.num_edges(), 12);
+  const Graph u = CompleteGraph(4, true);
+  EXPECT_EQ(u.num_edges(), 12);  // symmetrised pairs
+}
+
+TEST(FixtureGraphsTest, StarGraph) {
+  const Graph g = StarGraph(5, false);
+  EXPECT_EQ(g.OutDegree(0), 4);
+  EXPECT_EQ(g.InDegree(0), 0);
+  EXPECT_EQ(g.InDegree(3), 1);
+}
+
+TEST(PaperExampleGraphTest, MatchesReconstructedInNeighbourSets) {
+  const Graph g = PaperExampleGraph();
+  ASSERT_EQ(g.num_nodes(), 8);
+  enum { A, B, C, D, E, F, G, H };
+  auto in_set = [&](NodeId v) {
+    const auto span = g.InNeighbors(v);
+    return std::vector<NodeId>(span.begin(), span.end());
+  };
+  EXPECT_EQ(in_set(A), (std::vector<NodeId>{B, C}));
+  EXPECT_EQ(in_set(B), (std::vector<NodeId>{A, E}));
+  EXPECT_EQ(in_set(C), (std::vector<NodeId>{A, B, D}));
+  EXPECT_EQ(in_set(D), (std::vector<NodeId>{B, C}));
+  EXPECT_EQ(in_set(E), (std::vector<NodeId>{B, H}));
+  EXPECT_EQ(in_set(F), (std::vector<NodeId>{G, H}));
+  EXPECT_EQ(in_set(G), (std::vector<NodeId>{D}));
+  EXPECT_EQ(in_set(H), (std::vector<NodeId>{F, G}));
+}
+
+TEST(PaperExampleGraphTest, NodeNames) {
+  EXPECT_STREQ(PaperExampleNodeName(0), "A");
+  EXPECT_STREQ(PaperExampleNodeName(7), "H");
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,67 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder b(3);
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 2);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphBuilderTest, BuildIsRepeatable) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g1 = b.Build();
+  b.AddEdge(1, 2);
+  const Graph g2 = b.Build();
+  EXPECT_EQ(g1.num_edges(), 1);
+  EXPECT_EQ(g2.num_edges(), 2);
+}
+
+TEST(GraphBuilderTest, AddEdgesBulk) {
+  GraphBuilder b(4);
+  b.AddEdges({{0, 1}, {1, 2}, {2, 3}, {2, 3}});
+  EXPECT_EQ(b.Build().num_edges(), 3);
+}
+
+TEST(GraphBuilderTest, IsolatedNodesAllowed) {
+  GraphBuilder b(10);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 10);
+  EXPECT_EQ(g.InDegree(9), 0);
+  EXPECT_EQ(g.OutDegree(9), 0);
+  EXPECT_TRUE(g.InNeighbors(9).empty());
+}
+
+TEST(GraphBuilderTest, UndirectedDedupAcrossOrientations) {
+  GraphBuilder b(2, /*undirected=*/true);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // same undirected edge
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2);  // exactly the two directions
+}
+
+TEST(BuildGraphTest, Convenience) {
+  const Graph g = BuildGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,110 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace crashsim {
+namespace {
+
+Graph Diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, NodeAndEdgeCounts) {
+  const Graph g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(GraphTest, OutNeighborsSorted) {
+  const Graph g = Diamond();
+  const auto out = g.OutNeighbors(0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_TRUE(g.OutNeighbors(3).empty());
+}
+
+TEST(GraphTest, InNeighborsSorted) {
+  const Graph g = Diamond();
+  const auto in = g.InNeighbors(3);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0], 1);
+  EXPECT_EQ(in[1], 2);
+  EXPECT_TRUE(g.InNeighbors(0).empty());
+}
+
+TEST(GraphTest, Degrees) {
+  const Graph g = Diamond();
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(0), 0);
+  EXPECT_EQ(g.InDegree(3), 2);
+  EXPECT_EQ(g.OutDegree(3), 0);
+  EXPECT_EQ(g.InDegree(1), 1);
+}
+
+TEST(GraphTest, HasEdge) {
+  const Graph g = Diamond();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(GraphTest, EdgesRoundTrip) {
+  const Graph g = Diamond();
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[3], (Edge{2, 3}));
+  // Rebuilding from Edges() yields an equal graph.
+  EXPECT_EQ(BuildGraph(4, edges), g);
+}
+
+TEST(GraphTest, EqualityDetectsDifference) {
+  const Graph a = Diamond();
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  EXPECT_FALSE(a == b.Build());
+  EXPECT_TRUE(a == Diamond());
+}
+
+TEST(GraphTest, InOutConsistency) {
+  // Every out-edge appears as the matching in-edge.
+  const Graph g = Diamond();
+  int64_t in_total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    in_total += g.InDegree(v);
+    for (NodeId w : g.InNeighbors(v)) EXPECT_TRUE(g.HasEdge(w, v));
+  }
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST(GraphTest, UndirectedSymmetrised) {
+  GraphBuilder b(3, /*undirected=*/true);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Graph g = b.Build();
+  EXPECT_TRUE(g.undirected());
+  EXPECT_EQ(g.num_edges(), 4);  // both directions stored
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.InDegree(1), 2);
+  EXPECT_EQ(g.OutDegree(1), 2);
+}
+
+}  // namespace
+}  // namespace crashsim

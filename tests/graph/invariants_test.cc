@@ -1,0 +1,114 @@
+// Cross-cutting graph invariants: CHECK guard rails and properties that
+// must hold for every generator and the snapshot machinery.
+#include <gtest/gtest.h>
+
+#include "datasets/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/snapshot_diff.h"
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace crashsim {
+namespace {
+
+using GraphDeathTest = testing::Test;
+
+TEST(GraphDeathTest, BuilderRejectsOutOfRangeSource) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.AddEdge(3, 0), "bad src");
+}
+
+TEST(GraphDeathTest, BuilderRejectsNegativeDestination) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.AddEdge(0, -1), "bad dst");
+}
+
+TEST(GraphDeathTest, TemporalSnapshotOutOfRange) {
+  TemporalGraphBuilder b(2);
+  b.AddSnapshot({{0, 1}});
+  const TemporalGraph tg = b.Build();
+  EXPECT_DEATH(tg.SnapshotEdges(1), "snapshot");
+  EXPECT_DEATH(tg.SnapshotEdges(-1), "snapshot");
+}
+
+TEST(GraphDeathTest, AddDeltaBeforeSnapshot) {
+  TemporalGraphBuilder b(2);
+  EXPECT_DEATH(b.AddDelta({{0, 1}}, {}), "initial snapshot");
+}
+
+class GeneratorInvariants : public testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratorInvariants, NoSelfLoopsAndConsistentAdjacency) {
+  Rng rng(99);
+  Graph g;
+  const std::string& name = GetParam();
+  if (name == "erdos_renyi") {
+    g = ErdosRenyi(120, 500, false, &rng);
+  } else if (name == "erdos_renyi_undirected") {
+    g = ErdosRenyi(120, 260, true, &rng);
+  } else if (name == "barabasi_albert") {
+    g = BarabasiAlbert(150, 3, false, &rng);
+  } else if (name == "barabasi_albert_undirected") {
+    g = BarabasiAlbert(150, 3, true, &rng);
+  } else {
+    g = CopyingModel(150, 4, 0.5, &rng);
+  }
+  int64_t in_sum = 0;
+  int64_t out_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_FALSE(g.HasEdge(v, v)) << name;
+    in_sum += g.InDegree(v);
+    out_sum += g.OutDegree(v);
+    // Adjacency lists sorted strictly (no duplicate edges).
+    const auto out = g.OutNeighbors(v);
+    for (size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1], out[i]);
+    // Every in-edge has the matching out-edge.
+    for (NodeId w : g.InNeighbors(v)) EXPECT_TRUE(g.HasEdge(w, v));
+  }
+  EXPECT_EQ(in_sum, g.num_edges());
+  EXPECT_EQ(out_sum, g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorInvariants,
+    testing::Values("erdos_renyi", "erdos_renyi_undirected", "barabasi_albert",
+                    "barabasi_albert_undirected", "copying_model"),
+    [](const testing::TestParamInfo<std::string>& info) { return info.param; });
+
+class DatasetSnapshotInvariants : public testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetSnapshotInvariants, CursorMatchesDirectMaterialisation) {
+  const Dataset ds = MakeDataset(GetParam(), 0.01, /*snapshots_override=*/6);
+  SnapshotCursor cursor(&ds.temporal);
+  int t = 0;
+  do {
+    EXPECT_TRUE(cursor.graph() == ds.temporal.Snapshot(t))
+        << GetParam() << " snapshot " << t;
+    ++t;
+  } while (cursor.Advance());
+  EXPECT_EQ(t, ds.temporal.num_snapshots());
+}
+
+TEST_P(DatasetSnapshotInvariants, DeltasReplayToSnapshots) {
+  const Dataset ds = MakeDataset(GetParam(), 0.01, /*snapshots_override=*/5);
+  std::vector<Edge> edges;
+  for (int t = 0; t < ds.temporal.num_snapshots(); ++t) {
+    ApplyDelta(ds.temporal.Delta(t), &edges);
+    EXPECT_EQ(edges, ds.temporal.SnapshotEdges(t)) << GetParam() << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetSnapshotInvariants,
+    testing::Values("as733", "as-caida", "wiki-vote", "hepth", "hepph"),
+    [](const testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,76 @@
+// Adversarial inputs for the edge-list parsers: the loaders must reject
+// malformed input with a useful error (never crash, never silently accept),
+// and accept every well-formed quirk (comments, blank lines, extra columns,
+// weird whitespace).
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "util/rng.h"
+
+namespace crashsim {
+namespace {
+
+bool ParseStatic(const std::string& content, std::string* error) {
+  std::istringstream in(content);
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  return ReadEdgeList(in, &edges, error);
+}
+
+TEST(EdgeListFuzzTest, AcceptsWellFormedQuirks) {
+  std::string error;
+  EXPECT_TRUE(ParseStatic("", &error));
+  EXPECT_TRUE(ParseStatic("\n\n\n", &error));
+  EXPECT_TRUE(ParseStatic("# only a comment\n", &error));
+  EXPECT_TRUE(ParseStatic("% matrix-market style comment\n1 2\n", &error));
+  EXPECT_TRUE(ParseStatic("1\t2\n", &error)) << error;          // tabs
+  EXPECT_TRUE(ParseStatic("  1   2  \n", &error)) << error;     // padding
+  EXPECT_TRUE(ParseStatic("1 2 extra columns ok\n", &error)) << error;
+  EXPECT_TRUE(ParseStatic("1 2", &error)) << error;  // no trailing newline
+}
+
+TEST(EdgeListFuzzTest, RejectsMalformedLines) {
+  std::string error;
+  EXPECT_FALSE(ParseStatic("1\n", &error));
+  EXPECT_FALSE(ParseStatic("one two\n", &error));
+  EXPECT_FALSE(ParseStatic("1 2\n3 x\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParseStatic("1.5 2\n", &error));
+  EXPECT_FALSE(ParseStatic("99999999999999999999999999 1\n", &error));
+}
+
+TEST(EdgeListFuzzTest, RandomByteSoupNeverCrashes) {
+  Rng rng(99);
+  const char kAlphabet[] = "0123456789 \t\n#%-.abcXYZ";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string soup;
+    const int len = static_cast<int>(rng.NextBounded(200));
+    for (int i = 0; i < len; ++i) {
+      soup.push_back(kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)]);
+    }
+    std::string error;
+    ParseStatic(soup, &error);  // outcome is input-dependent; no crash/UB
+  }
+}
+
+TEST(EdgeListFuzzTest, RandomValidFilesAlwaysParse) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::ostringstream content;
+    const int lines = 1 + static_cast<int>(rng.NextBounded(50));
+    for (int i = 0; i < lines; ++i) {
+      if (rng.Bernoulli(0.2)) {
+        content << "# comment " << i << "\n";
+      } else {
+        content << rng.NextBounded(1000) << ' ' << rng.NextBounded(1000)
+                << '\n';
+      }
+    }
+    std::string error;
+    EXPECT_TRUE(ParseStatic(content.str(), &error)) << error;
+  }
+}
+
+}  // namespace
+}  // namespace crashsim

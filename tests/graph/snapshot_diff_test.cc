@@ -1,0 +1,115 @@
+#include "graph/snapshot_diff.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace crashsim {
+namespace {
+
+TEST(DiffEdgeSetsTest, DisjointAddRemove) {
+  const std::vector<Edge> before{{0, 1}, {1, 2}};
+  const std::vector<Edge> after{{0, 1}, {2, 3}};
+  const EdgeDelta d = DiffEdgeSets(before, after);
+  EXPECT_EQ(d.added, (std::vector<Edge>{{2, 3}}));
+  EXPECT_EQ(d.removed, (std::vector<Edge>{{1, 2}}));
+}
+
+TEST(DiffEdgeSetsTest, IdenticalSetsEmptyDelta) {
+  const std::vector<Edge> e{{0, 1}, {1, 2}};
+  EXPECT_TRUE(DiffEdgeSets(e, e).Empty());
+}
+
+TEST(DiffEdgeSetsTest, EmptyBeforeAndAfter) {
+  const std::vector<Edge> e{{4, 5}};
+  EXPECT_EQ(DiffEdgeSets({}, e).added.size(), 1u);
+  EXPECT_EQ(DiffEdgeSets(e, {}).removed.size(), 1u);
+  EXPECT_TRUE(DiffEdgeSets({}, {}).Empty());
+}
+
+TEST(ApplyDeltaTest, RoundTripsWithDiff) {
+  Rng rng(17);
+  // Random before/after pairs: applying Diff(before, after) to before must
+  // yield after exactly.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Edge> before;
+    std::vector<Edge> after;
+    for (int i = 0; i < 30; ++i) {
+      const Edge e{static_cast<NodeId>(rng.NextBounded(10)),
+                   static_cast<NodeId>(rng.NextBounded(10))};
+      if (rng.Bernoulli(0.5)) before.push_back(e);
+      if (rng.Bernoulli(0.5)) after.push_back(e);
+    }
+    auto normalize = [](std::vector<Edge>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    normalize(&before);
+    normalize(&after);
+    const EdgeDelta d = DiffEdgeSets(before, after);
+    std::vector<Edge> result = before;
+    ApplyDelta(d, &result);
+    EXPECT_EQ(result, after) << "trial " << trial;
+  }
+}
+
+TEST(ApplyDeltaTest, ToleratesNoOps) {
+  std::vector<Edge> edges{{0, 1}};
+  EdgeDelta d;
+  d.added = {{0, 1}};   // already present
+  d.removed = {{5, 6}};  // not present
+  ApplyDelta(d, &edges);
+  EXPECT_EQ(edges, (std::vector<Edge>{{0, 1}}));
+}
+
+TEST(ForwardReachableTest, PathDepths) {
+  const Graph g = PathGraph(5, false);  // 0->1->2->3->4
+  EXPECT_EQ(ForwardReachableWithin(g, 0, 0), (std::vector<NodeId>{0}));
+  EXPECT_EQ(ForwardReachableWithin(g, 0, 2), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(ForwardReachableWithin(g, 0, 10),
+            (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ForwardReachableWithin(g, 4, 3), (std::vector<NodeId>{4}));
+}
+
+TEST(ForwardReachableTest, CycleSaturates) {
+  const Graph g = CycleGraph(4, false);
+  const auto r = ForwardReachableWithin(g, 0, 100);
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(ForwardReachableTest, BranchingBfsOrder) {
+  // 0 -> {1, 2}, 1 -> 3.
+  const Graph g = BuildGraph(4, {{0, 1}, {0, 2}, {1, 3}});
+  const auto r = ForwardReachableWithin(g, 0, 1);
+  EXPECT_EQ(r, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(ReverseReachableTest, PathDepths) {
+  const Graph g = PathGraph(5, false);  // 0->1->2->3->4
+  EXPECT_EQ(ReverseReachableWithin(g, 4, 0), (std::vector<NodeId>{4}));
+  EXPECT_EQ(ReverseReachableWithin(g, 4, 2), (std::vector<NodeId>{4, 3, 2}));
+  EXPECT_EQ(ReverseReachableWithin(g, 0, 3), (std::vector<NodeId>{0}));
+}
+
+TEST(ReverseReachableTest, MirrorsForwardOnReversedGraph) {
+  Rng rng(23);
+  const Graph g = ErdosRenyi(30, 120, false, &rng);
+  // Reverse of g: flip every edge.
+  std::vector<Edge> flipped;
+  for (const Edge& e : g.Edges()) flipped.push_back({e.dst, e.src});
+  const Graph rev = BuildGraph(30, flipped);
+  for (NodeId v : {0, 7, 19}) {
+    auto a = ReverseReachableWithin(g, v, 3);
+    auto b = ForwardReachableWithin(rev, v, 3);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "node " << static_cast<int>(v);
+  }
+}
+
+}  // namespace
+}  // namespace crashsim

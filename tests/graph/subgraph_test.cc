@@ -1,0 +1,78 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace crashsim {
+namespace {
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  // 0->1->2->3, induce {1, 2}: only edge 1->2 survives.
+  const Graph g = PathGraph(4, false);
+  const InducedSubgraph sub = BuildInducedSubgraph(g, {1, 2});
+  EXPECT_EQ(sub.graph.num_nodes(), 2);
+  EXPECT_EQ(sub.graph.num_edges(), 1);
+  EXPECT_TRUE(sub.graph.HasEdge(0, 1));  // remapped 1->2
+}
+
+TEST(InducedSubgraphTest, MappingsAreInverse) {
+  const Graph g = PaperExampleGraph();
+  const InducedSubgraph sub = BuildInducedSubgraph(g, {7, 2, 5});
+  ASSERT_EQ(sub.to_original.size(), 3u);
+  for (NodeId sv = 0; sv < sub.graph.num_nodes(); ++sv) {
+    const NodeId original = sub.to_original[static_cast<size_t>(sv)];
+    EXPECT_EQ(sub.to_sub[static_cast<size_t>(original)], sv);
+  }
+  // Excluded nodes map to -1.
+  EXPECT_EQ(sub.to_sub[0], -1);
+}
+
+TEST(InducedSubgraphTest, DuplicatesIgnored) {
+  const Graph g = PathGraph(4, false);
+  const InducedSubgraph sub = BuildInducedSubgraph(g, {2, 1, 2, 1});
+  EXPECT_EQ(sub.graph.num_nodes(), 2);
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  const Graph g = PathGraph(4, false);
+  const InducedSubgraph sub = BuildInducedSubgraph(g, {});
+  EXPECT_EQ(sub.graph.num_nodes(), 0);
+  EXPECT_EQ(sub.graph.num_edges(), 0);
+}
+
+TEST(InducedSubgraphTest, FullSelectionIsIsomorphic) {
+  Rng rng(4);
+  const Graph g = ErdosRenyi(30, 90, false, &rng);
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < 30; ++v) all.push_back(v);
+  const InducedSubgraph sub = BuildInducedSubgraph(g, all);
+  EXPECT_TRUE(sub.graph == g);  // identity remap preserves ids
+}
+
+TEST(InducedSubgraphTest, EdgeCountMatchesManualFilter) {
+  Rng rng(5);
+  const Graph g = ErdosRenyi(40, 200, false, &rng);
+  Rng pick(6);
+  std::vector<NodeId> nodes;
+  std::vector<char> in_set(40, 0);
+  for (NodeId v = 0; v < 40; ++v) {
+    if (pick.Bernoulli(0.5)) {
+      nodes.push_back(v);
+      in_set[static_cast<size_t>(v)] = 1;
+    }
+  }
+  int64_t expected = 0;
+  for (const Edge& e : g.Edges()) {
+    if (in_set[static_cast<size_t>(e.src)] && in_set[static_cast<size_t>(e.dst)]) {
+      ++expected;
+    }
+  }
+  const InducedSubgraph sub = BuildInducedSubgraph(g, nodes);
+  EXPECT_EQ(sub.graph.num_edges(), expected);
+}
+
+}  // namespace
+}  // namespace crashsim

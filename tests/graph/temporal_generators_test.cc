@@ -1,0 +1,112 @@
+#include "graph/temporal_generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace crashsim {
+namespace {
+
+TEST(EvolveWithChurnTest, FirstSnapshotEqualsBase) {
+  Rng rng(1);
+  const Graph base = ErdosRenyi(60, 150, false, &rng);
+  ChurnOptions opt;
+  opt.num_snapshots = 5;
+  const TemporalGraph tg = EvolveWithChurn(base, opt, &rng);
+  EXPECT_EQ(tg.num_snapshots(), 5);
+  EXPECT_TRUE(tg.Snapshot(0) == base);
+}
+
+TEST(EvolveWithChurnTest, AdjacentSnapshotsDifferModestly) {
+  Rng rng(2);
+  const Graph base = ErdosRenyi(80, 300, false, &rng);
+  ChurnOptions opt;
+  opt.num_snapshots = 10;
+  opt.churn_rate = 0.02;
+  const TemporalGraph tg = EvolveWithChurn(base, opt, &rng);
+  for (int t = 1; t < tg.num_snapshots(); ++t) {
+    const EdgeDelta& d = tg.Delta(t);
+    EXPECT_FALSE(d.Empty()) << "snapshot " << t;
+    // Churn is bounded: each side well under 10% of edges.
+    EXPECT_LT(d.Size(), 60u);
+  }
+}
+
+TEST(EvolveWithChurnTest, EdgeCountRoughlyStationary) {
+  Rng rng(3);
+  const Graph base = ErdosRenyi(100, 400, false, &rng);
+  ChurnOptions opt;
+  opt.num_snapshots = 20;
+  opt.churn_rate = 0.01;
+  const TemporalGraph tg = EvolveWithChurn(base, opt, &rng);
+  const size_t first = tg.SnapshotEdges(0).size();
+  const size_t last = tg.SnapshotEdges(19).size();
+  EXPECT_NEAR(static_cast<double>(last), static_cast<double>(first),
+              0.2 * static_cast<double>(first));
+}
+
+TEST(EvolveWithChurnTest, UndirectedStaysSymmetric) {
+  Rng rng(4);
+  const Graph base = ErdosRenyi(50, 100, /*undirected=*/true, &rng);
+  ChurnOptions opt;
+  opt.num_snapshots = 6;
+  const TemporalGraph tg = EvolveWithChurn(base, opt, &rng);
+  for (int t = 0; t < tg.num_snapshots(); ++t) {
+    const Graph g = tg.Snapshot(t);
+    for (const Edge& e : g.Edges()) {
+      EXPECT_TRUE(g.HasEdge(e.dst, e.src)) << "t=" << t;
+    }
+  }
+}
+
+TEST(EvolveWithChurnTest, DeterministicInSeed) {
+  Rng ra(9);
+  Rng rb(9);
+  const Graph base_a = ErdosRenyi(40, 80, false, &ra);
+  const Graph base_b = ErdosRenyi(40, 80, false, &rb);
+  ChurnOptions opt;
+  opt.num_snapshots = 4;
+  const TemporalGraph ta = EvolveWithChurn(base_a, opt, &ra);
+  const TemporalGraph tb = EvolveWithChurn(base_b, opt, &rb);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(ta.SnapshotEdges(t), tb.SnapshotEdges(t));
+  }
+}
+
+TEST(GrowTemporalGraphTest, NodeSetFixedEdgesGrow) {
+  Rng rng(5);
+  GrowthOptions opt;
+  opt.num_snapshots = 12;
+  opt.initial_fraction = 0.4;
+  const TemporalGraph tg = GrowTemporalGraph(200, false, opt, &rng);
+  EXPECT_EQ(tg.num_nodes(), 200);
+  EXPECT_EQ(tg.num_snapshots(), 12);
+  const size_t first = tg.SnapshotEdges(0).size();
+  const size_t last = tg.SnapshotEdges(11).size();
+  EXPECT_GT(last, first);
+}
+
+TEST(GrowTemporalGraphTest, LateArrivalsIsolatedEarly) {
+  Rng rng(6);
+  GrowthOptions opt;
+  opt.num_snapshots = 10;
+  opt.initial_fraction = 0.3;
+  const TemporalGraph tg = GrowTemporalGraph(100, false, opt, &rng);
+  const Graph g0 = tg.Snapshot(0);
+  // The last-arriving node has no edges in the first snapshot.
+  EXPECT_EQ(g0.InDegree(99) + g0.OutDegree(99), 0);
+  const Graph gl = tg.Snapshot(9);
+  EXPECT_GT(gl.InDegree(99) + gl.OutDegree(99), 0);
+}
+
+TEST(GrowTemporalGraphTest, UndirectedSymmetric) {
+  Rng rng(7);
+  GrowthOptions opt;
+  opt.num_snapshots = 8;
+  const TemporalGraph tg = GrowTemporalGraph(80, true, opt, &rng);
+  const Graph g = tg.Snapshot(7);
+  for (const Edge& e : g.Edges()) EXPECT_TRUE(g.HasEdge(e.dst, e.src));
+}
+
+}  // namespace
+}  // namespace crashsim

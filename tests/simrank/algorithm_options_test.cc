@@ -1,0 +1,139 @@
+// Behavioural tests of the tuning knobs each algorithm exposes: thresholds,
+// sample counts, walk caps. Each test pins the *direction* a knob moves
+// accuracy or work, not absolute values.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "simrank/power_method.h"
+#include "simrank/probesim.h"
+#include "simrank/reads.h"
+#include "simrank/sling.h"
+#include "simrank/walk.h"
+#include "util/rng.h"
+
+namespace crashsim {
+namespace {
+
+Graph TestGraph() {
+  Rng rng(21);
+  return ErdosRenyi(60, 240, false, &rng);
+}
+
+TEST(ProbeSimOptionsTest, CoarsePruneThresholdOnlyDropsMass) {
+  // Probe pruning discards probability mass, so a coarse threshold can only
+  // lower scores (never raise them) relative to a fine one at equal seeds.
+  const Graph g = TestGraph();
+  SimRankOptions mc;
+  mc.trials_override = 2000;
+  mc.seed = 5;
+  ProbeSim fine(mc);
+  fine.set_prune_threshold(0.0);
+  fine.Bind(&g);
+  ProbeSim coarse(mc);
+  coarse.set_prune_threshold(0.01);
+  coarse.Bind(&g);
+  const auto f = fine.SingleSource(2);
+  const auto c = coarse.SingleSource(2);
+  for (size_t v = 0; v < f.size(); ++v) {
+    EXPECT_LE(c[v], f[v] + 1e-12) << "node " << v;
+  }
+}
+
+TEST(ProbeSimOptionsTest, DirectedCyclePhasesNeverMeet) {
+  // On a directed cycle, walks from distinct nodes keep distinct phases
+  // forever, so every pairwise SimRank is exactly 0 — and the estimator must
+  // report exactly 0, not merely something small.
+  const Graph g = CycleGraph(8, false);
+  SimRankOptions mc;
+  mc.trials_override = 3000;
+  ProbeSim algo(mc);
+  algo.Bind(&g);
+  const auto scores = algo.SingleSource(0);
+  for (NodeId v = 1; v < 8; ++v) EXPECT_EQ(scores[static_cast<size_t>(v)], 0.0);
+}
+
+TEST(SlingOptionsTest, FinerThresholdImprovesAccuracy) {
+  const Graph g = TestGraph();
+  const SimRankMatrix truth = PowerMethodAllPairs(g, 0.6, 55);
+  SimRankOptions mc;
+  mc.seed = 7;
+  Sling coarse(mc);
+  coarse.set_prune_threshold(0.05);
+  coarse.set_diag_samples(2000);
+  coarse.Bind(&g);
+  Sling fine(mc);
+  fine.set_prune_threshold(0.001);
+  fine.set_diag_samples(2000);
+  fine.Bind(&g);
+  const auto truth_row = truth.Row(4);
+  const double me_coarse = MaxError(coarse.SingleSource(4), truth_row, 4);
+  const double me_fine = MaxError(fine.SingleSource(4), truth_row, 4);
+  EXPECT_LT(me_fine, me_coarse);
+}
+
+TEST(SlingOptionsTest, FinerThresholdGrowsIndex) {
+  const Graph g = TestGraph();
+  SimRankOptions mc;
+  Sling coarse(mc);
+  coarse.set_prune_threshold(0.05);
+  coarse.Bind(&g);
+  Sling fine(mc);
+  fine.set_prune_threshold(0.001);
+  fine.Bind(&g);
+  EXPECT_GT(fine.index_stats().reverse_entries,
+            coarse.index_stats().reverse_entries);
+}
+
+TEST(ReadsOptionsTest, MoreSamplesReduceError) {
+  const Graph g = PaperExampleGraph();
+  const SimRankMatrix truth = PowerMethodAllPairs(g, 0.6, 55);
+  const auto truth_row = truth.Row(0);
+  double me_small_total = 0.0;
+  double me_large_total = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ReadsOptions small;
+    small.r = 50;
+    small.seed = seed;
+    Reads rs(small);
+    rs.Bind(&g);
+    me_small_total += MaxError(rs.SingleSource(0), truth_row, 0);
+    ReadsOptions large;
+    large.r = 5000;
+    large.seed = seed;
+    Reads rl(large);
+    rl.Bind(&g);
+    me_large_total += MaxError(rl.SingleSource(0), truth_row, 0);
+  }
+  EXPECT_LT(me_large_total, me_small_total);
+}
+
+TEST(ReadsOptionsTest, ZeroRQStillWorks) {
+  const Graph g = PaperExampleGraph();
+  ReadsOptions opt;
+  opt.r_q = 0;
+  Reads reads(opt);
+  reads.Bind(&g);
+  const auto scores = reads.SingleSource(1);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);
+  for (double s : scores) EXPECT_LE(s, 1.0);
+}
+
+TEST(PowerMethodGuardTest, NodeCapViolationDies) {
+  Rng rng(9);
+  const Graph g = ErdosRenyi(50, 100, false, &rng);
+  EXPECT_DEATH(PowerMethodAllPairs(g, 0.6, 5, /*max_nodes=*/10),
+               "CHECK failed");
+}
+
+TEST(WalkFormulaGuardTest, InvalidParametersDie) {
+  EXPECT_DEATH(CrashSimLMax(0.0), "CHECK failed");
+  EXPECT_DEATH(CrashSimLMax(1.0), "CHECK failed");
+  EXPECT_DEATH(CrashSimTrialCount(0.6, 0.0, 0.01, 100), "CHECK failed");
+  EXPECT_DEATH(CrashSimTrialCount(0.6, 0.025, 1.5, 100), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,129 @@
+#include "simrank/probesim.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "simrank/power_method.h"
+#include "simrank/walk.h"
+
+namespace crashsim {
+namespace {
+
+SimRankOptions FastOptions(int64_t trials, uint64_t seed = 42) {
+  SimRankOptions opt;
+  opt.c = 0.6;
+  opt.trials_override = trials;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(ProbeSimTest, SelfScoreIsOne) {
+  const Graph g = PaperExampleGraph();
+  ProbeSim algo(FastOptions(100));
+  algo.Bind(&g);
+  const auto scores = algo.SingleSource(0);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+}
+
+TEST(ProbeSimTest, ScoresInUnitInterval) {
+  const Graph g = PaperExampleGraph();
+  ProbeSim algo(FastOptions(500));
+  algo.Bind(&g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (double s : algo.SingleSource(u)) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(ProbeSimTest, DeterministicGivenSeed) {
+  const Graph g = PaperExampleGraph();
+  ProbeSim a(FastOptions(200, 7));
+  ProbeSim b(FastOptions(200, 7));
+  a.Bind(&g);
+  b.Bind(&g);
+  EXPECT_EQ(a.SingleSource(2), b.SingleSource(2));
+}
+
+TEST(ProbeSimTest, ApproximatesGroundTruthOnExampleGraph) {
+  const Graph g = PaperExampleGraph();
+  const SimRankMatrix truth = PowerMethodAllPairs(g, 0.6, 55);
+  ProbeSim algo(FastOptions(20000));
+  algo.Bind(&g);
+  const auto scores = algo.SingleSource(0);
+  for (NodeId v = 1; v < 8; ++v) {
+    EXPECT_NEAR(scores[v], truth.At(0, v), 0.03) << "node " << v;
+  }
+}
+
+TEST(ProbeSimTest, ApproximatesGroundTruthOnRandomGraph) {
+  Rng rng(3);
+  const Graph g = ErdosRenyi(40, 160, false, &rng);
+  const SimRankMatrix truth = PowerMethodAllPairs(g, 0.6, 55);
+  ProbeSim algo(FastOptions(15000));
+  algo.Bind(&g);
+  const auto scores = algo.SingleSource(5);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == 5) continue;
+    EXPECT_NEAR(scores[v], truth.At(5, v), 0.04) << "node " << v;
+  }
+}
+
+TEST(ProbeSimTest, SourceWithNoInNeighborsScoresZero) {
+  const Graph g = BuildGraph(3, {{0, 1}, {0, 2}});
+  ProbeSim algo(FastOptions(500));
+  algo.Bind(&g);
+  const auto scores = algo.SingleSource(0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+  EXPECT_DOUBLE_EQ(scores[2], 0.0);
+}
+
+TEST(ProbeSimTest, PartialDefaultGathersFromSingleSource) {
+  const Graph g = PaperExampleGraph();
+  ProbeSim algo(FastOptions(300, 9));
+  algo.Bind(&g);
+  ProbeSim algo2(FastOptions(300, 9));
+  algo2.Bind(&g);
+  const auto all = algo.SingleSource(1);
+  const std::vector<NodeId> cands{2, 5, 7};
+  const auto partial = algo2.Partial(1, cands);
+  ASSERT_EQ(partial.size(), 3u);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    EXPECT_DOUBLE_EQ(partial[i], all[static_cast<size_t>(cands[i])]);
+  }
+}
+
+TEST(ProbeSimTest, TrialsForHonoursOverrideAndCap) {
+  SimRankOptions opt;
+  opt.trials_override = 123;
+  ProbeSim a(opt);
+  EXPECT_EQ(a.TrialsFor(1000), 123);
+
+  SimRankOptions capped;
+  capped.trials_override = 0;
+  capped.trials_cap = 50;
+  ProbeSim b(capped);
+  EXPECT_EQ(b.TrialsFor(1000), 50);
+
+  SimRankOptions uncapped;
+  uncapped.trials_cap = 0;
+  ProbeSim c(uncapped);
+  EXPECT_EQ(c.TrialsFor(1000),
+            ProbeSimTrialCount(uncapped.c, uncapped.epsilon, uncapped.delta,
+                               1000));
+}
+
+TEST(ProbeSimTest, RebindResetsToNewGraph) {
+  const Graph g1 = PaperExampleGraph();
+  const Graph g2 = CycleGraph(4, false);
+  ProbeSim algo(FastOptions(100));
+  algo.Bind(&g1);
+  EXPECT_EQ(algo.SingleSource(0).size(), 8u);
+  algo.Bind(&g2);
+  EXPECT_EQ(algo.SingleSource(0).size(), 4u);
+}
+
+}  // namespace
+}  // namespace crashsim

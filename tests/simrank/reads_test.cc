@@ -1,0 +1,131 @@
+#include "simrank/reads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/snapshot_diff.h"
+#include "simrank/power_method.h"
+
+namespace crashsim {
+namespace {
+
+ReadsOptions Options(int r = 100, uint64_t seed = 42) {
+  ReadsOptions opt;
+  opt.r = r;
+  opt.r_q = 10;
+  opt.t = 10;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(ReadsTest, SelfScoreIsOne) {
+  const Graph g = PaperExampleGraph();
+  Reads algo(Options());
+  algo.Bind(&g);
+  EXPECT_DOUBLE_EQ(algo.SingleSource(4)[4], 1.0);
+}
+
+TEST(ReadsTest, ScoresAreSampleFractions) {
+  const Graph g = PaperExampleGraph();
+  Reads algo(Options(50));
+  algo.Bind(&g);
+  for (double s : algo.SingleSource(0)) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    // With r = 50 every score is a multiple of 1/50.
+    EXPECT_NEAR(s * 50.0, std::round(s * 50.0), 1e-9);
+  }
+}
+
+TEST(ReadsTest, ApproximatesGroundTruthLoosely) {
+  // READS has no error guarantee (the paper's point); with a large r the
+  // estimate should still land in the right neighbourhood.
+  const Graph g = PaperExampleGraph();
+  const SimRankMatrix truth = PowerMethodAllPairs(g, 0.6, 55);
+  Reads algo(Options(4000));
+  algo.Bind(&g);
+  const auto scores = algo.SingleSource(0);
+  for (NodeId v = 1; v < 8; ++v) {
+    EXPECT_NEAR(scores[static_cast<size_t>(v)], truth.At(0, v), 0.08)
+        << "node " << v;
+  }
+}
+
+TEST(ReadsTest, DeterministicGivenSeed) {
+  const Graph g = PaperExampleGraph();
+  Reads a(Options(100, 3));
+  Reads b(Options(100, 3));
+  a.Bind(&g);
+  b.Bind(&g);
+  EXPECT_EQ(a.SingleSource(1), b.SingleSource(1));
+}
+
+TEST(ReadsTest, IndexBytesScalesWithRAndN) {
+  const Graph g = PaperExampleGraph();
+  Reads small(Options(10));
+  small.Bind(&g);
+  Reads large(Options(100));
+  large.Bind(&g);
+  EXPECT_EQ(large.IndexBytes(), 10 * small.IndexBytes());
+}
+
+TEST(ReadsTest, ApplyDeltaMatchesRebindDistribution) {
+  // Incremental repair must leave the index consistent with the new graph:
+  // pointers only ever point to current in-neighbours.
+  Rng rng(9);
+  const Graph g1 = ErdosRenyi(30, 120, false, &rng);
+  std::vector<Edge> edges = g1.Edges();
+  // Remove 5 edges, add 5 new ones.
+  EdgeDelta delta;
+  for (int i = 0; i < 5; ++i) {
+    delta.removed.push_back(edges[static_cast<size_t>(i) * 7]);
+  }
+  delta.added = {{1, 28}, {2, 27}, {3, 26}, {4, 25}, {5, 24}};
+  std::sort(delta.removed.begin(), delta.removed.end());
+  std::sort(delta.added.begin(), delta.added.end());
+  std::vector<Edge> updated_edges = edges;
+  ApplyDelta(delta, &updated_edges);
+  const Graph g2 = BuildGraph(30, updated_edges);
+
+  Reads algo(Options(200));
+  algo.Bind(&g1);
+  algo.ApplyDelta(delta, &g2);
+  // All scores computable and bounded on the new graph.
+  const auto scores = algo.SingleSource(0);
+  ASSERT_EQ(scores.size(), 30u);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(ReadsTest, DisconnectedNodesNeverMeet) {
+  // Two disjoint 2-cycles: no cross-component meetings possible.
+  const Graph g = BuildGraph(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}});
+  Reads algo(Options(500));
+  algo.Bind(&g);
+  const auto scores = algo.SingleSource(0);
+  EXPECT_DOUBLE_EQ(scores[2], 0.0);
+  EXPECT_DOUBLE_EQ(scores[3], 0.0);
+}
+
+TEST(ReadsTest, WalkCapLimitsMeetingDepth) {
+  // On a long path meetings deeper than t steps are invisible; scores stay 0
+  // for far-apart nodes when t is tiny.
+  ReadsOptions opt = Options(200);
+  opt.t = 1;
+  const Graph g = PathGraph(6, false);
+  Reads algo(opt);
+  algo.Bind(&g);
+  const auto scores = algo.SingleSource(5);
+  // Node 5's only 1-step destination is node 4's neighbourhood; node 0 is
+  // unreachable in one step from anything shared.
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+}  // namespace
+}  // namespace crashsim

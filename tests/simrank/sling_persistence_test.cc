@@ -1,0 +1,85 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "simrank/sling.h"
+#include "util/rng.h"
+
+namespace crashsim {
+namespace {
+
+SimRankOptions Options(uint64_t seed = 42) {
+  SimRankOptions opt;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(SlingPersistenceTest, RoundTripReproducesScoresExactly) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(50, 200, false, &rng);
+  Sling original(Options());
+  original.Bind(&g);
+  const auto scores = original.SingleSource(5);
+
+  std::stringstream buffer;
+  original.SaveIndex(buffer);
+
+  // Different seed would give different d(w); the load restores the original
+  // index, so queries match bit-for-bit (SLING queries draw no randomness).
+  Sling restored(Options(1234));
+  restored.Bind(&g);
+  std::string error;
+  ASSERT_TRUE(restored.LoadIndex(buffer, &error)) << error;
+  EXPECT_EQ(restored.SingleSource(5), scores);
+  EXPECT_EQ(restored.index_stats().reverse_entries,
+            original.index_stats().reverse_entries);
+}
+
+TEST(SlingPersistenceTest, RejectsBadMagic) {
+  const Graph g = PaperExampleGraph();
+  Sling sling(Options());
+  sling.Bind(&g);
+  std::stringstream buffer("garbage bytes here");
+  std::string error;
+  EXPECT_FALSE(sling.LoadIndex(buffer, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(SlingPersistenceTest, RejectsNodeCountMismatch) {
+  const Graph g1 = PaperExampleGraph();
+  Sling a(Options());
+  a.Bind(&g1);
+  std::stringstream buffer;
+  a.SaveIndex(buffer);
+
+  const Graph g2 = CycleGraph(5, false);
+  Sling b(Options());
+  b.Bind(&g2);
+  std::string error;
+  EXPECT_FALSE(b.LoadIndex(buffer, &error));
+  EXPECT_NE(error.find("mismatch"), std::string::npos);
+}
+
+TEST(SlingPersistenceTest, RejectsTruncatedStreamAndKeepsIndexUsable) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(30, 120, false, &rng);
+  Sling sling(Options());
+  sling.Bind(&g);
+  std::stringstream buffer;
+  sling.SaveIndex(buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() * 3 / 4);
+  std::stringstream truncated(bytes);
+
+  Sling other(Options(7));
+  other.Bind(&g);
+  const auto before = other.SingleSource(3);
+  std::string error;
+  EXPECT_FALSE(other.LoadIndex(truncated, &error));
+  // Failed load leaves the previously built index intact.
+  EXPECT_EQ(other.SingleSource(3), before);
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(CsvWriter::Escape("abc"), "abc");
+  EXPECT_EQ(CsvWriter::Escape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvWriter::Escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.WriteHeader({"x", "y"});
+  w.WriteRow({"1", "two,three"});
+  EXPECT_EQ(out.str(), "x,y\n1,\"two,three\"\n");
+}
+
+TEST(CsvWriterTest, EmptyRow) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.WriteRow({});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+}  // namespace
+}  // namespace crashsim

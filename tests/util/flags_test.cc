@@ -1,0 +1,102 @@
+#include "util/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+FlagSet MakeFlags() {
+  FlagSet flags;
+  flags.DefineInt("reps", 20, "repetitions");
+  flags.DefineDouble("eps", 0.025, "epsilon");
+  flags.DefineString("dataset", "as733", "dataset name");
+  flags.DefineBool("verbose", false, "verbosity");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  FlagSet flags = MakeFlags();
+  Argv args({"prog"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(flags.GetInt("reps"), 20);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps"), 0.025);
+  EXPECT_EQ(flags.GetString("dataset"), "as733");
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagSet flags = MakeFlags();
+  Argv args({"prog", "--reps=5", "--eps=0.1", "--dataset=hepth"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(flags.GetInt("reps"), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps"), 0.1);
+  EXPECT_EQ(flags.GetString("dataset"), "hepth");
+}
+
+TEST(FlagsTest, SpaceForm) {
+  FlagSet flags = MakeFlags();
+  Argv args({"prog", "--reps", "7"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(flags.GetInt("reps"), 7);
+}
+
+TEST(FlagsTest, BareBoolEnables) {
+  FlagSet flags = MakeFlags();
+  Argv args({"prog", "--verbose"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags = MakeFlags();
+  Argv args({"prog", "--nope=1"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, BadIntValueFails) {
+  FlagSet flags = MakeFlags();
+  Argv args({"prog", "--reps=abc"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, PositionalArgsCollected) {
+  FlagSet flags = MakeFlags();
+  Argv args({"prog", "one", "--reps=3", "two"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "one");
+  EXPECT_EQ(flags.positional()[1], "two");
+}
+
+TEST(FlagsTest, HelpReturnsFalse) {
+  FlagSet flags = MakeFlags();
+  Argv args({"prog", "--help"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  FlagSet flags = MakeFlags();
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--reps"), std::string::npos);
+  EXPECT_NE(usage.find("--dataset"), std::string::npos);
+  EXPECT_NE(usage.find("default: 20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,69 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.max_value(), 0);
+  EXPECT_EQ(h.ToString(), "");
+}
+
+TEST(HistogramTest, ZerosTrackedSeparately) {
+  Histogram h;
+  h.Add(0);
+  h.Add(0);
+  h.Add(3);
+  EXPECT_EQ(h.zeros(), 2);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1.0);
+}
+
+TEST(HistogramTest, PowerOfTwoBucketing) {
+  Histogram h;
+  h.Add(1);   // bucket 0: [1,2)
+  h.Add(2);   // bucket 1: [2,4)
+  h.Add(3);   // bucket 1
+  h.Add(4);   // bucket 2: [4,8)
+  h.Add(7);   // bucket 2
+  h.Add(8);   // bucket 3: [8,16)
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(1), 2);
+  EXPECT_EQ(h.BucketCount(2), 2);
+  EXPECT_EQ(h.BucketCount(3), 1);
+  EXPECT_EQ(h.BucketCount(4), 0);
+  EXPECT_EQ(h.max_value(), 8);
+}
+
+TEST(HistogramTest, OutOfRangeBucketQueriesAreZero) {
+  Histogram h;
+  h.Add(5);
+  EXPECT_EQ(h.BucketCount(-1), 0);
+  EXPECT_EQ(h.BucketCount(100), 0);
+}
+
+TEST(HistogramTest, ToStringSkipsEmptyBuckets) {
+  Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(9);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("0:1"), std::string::npos);
+  EXPECT_NE(s.find("[1,2):1"), std::string::npos);
+  EXPECT_NE(s.find("[8,16):1"), std::string::npos);
+  EXPECT_EQ(s.find("[2,4)"), std::string::npos);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Add((1LL << 40) + 5);
+  EXPECT_EQ(h.BucketCount(40), 1);
+  EXPECT_EQ(h.max_value(), (1LL << 40) + 5);
+}
+
+}  // namespace
+}  // namespace crashsim

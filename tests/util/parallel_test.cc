@@ -1,0 +1,70 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const int64_t kN = 100000;
+  std::vector<std::atomic<int>> touched(kN);
+  ParallelFor(kN, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) touched[static_cast<size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(touched[static_cast<size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, SmallInputRunsInline) {
+  // Below min_chunk the callback must run exactly once over the full range.
+  int calls = 0;
+  ParallelFor(
+      10,
+      [&](int64_t begin, int64_t end) {
+        ++calls;
+        EXPECT_EQ(begin, 0);
+        EXPECT_EQ(end, 10);
+      },
+      /*min_chunk=*/1024);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, ZeroAndNegativeAreNoOps) {
+  int calls = 0;
+  ParallelFor(0, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(-5, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, RangesAreDisjointAndOrderedWithinChunk) {
+  std::atomic<int64_t> total{0};
+  ParallelFor(
+      5000,
+      [&](int64_t begin, int64_t end) {
+        EXPECT_LE(begin, end);
+        total += end - begin;
+      },
+      /*min_chunk=*/64);
+  EXPECT_EQ(total.load(), 5000);
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSequential) {
+  const int64_t kN = 200000;
+  std::vector<int64_t> values(kN);
+  std::iota(values.begin(), values.end(), 1);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(kN, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += values[static_cast<size_t>(i)];
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), kN * (kN + 1) / 2);
+}
+
+}  // namespace
+}  // namespace crashsim

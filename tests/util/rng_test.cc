@@ -1,0 +1,139 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(13);
+  const uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.NextBounded(kBound)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int kN = 100000;
+    for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / kN, p, 0.01);
+  }
+}
+
+TEST(RngTest, BernoulliDegenerateCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GeometricLengthMatchesMean) {
+  // E[L] = 1 / (1 - p) for continue-probability p.
+  Rng rng(29);
+  const double p = std::sqrt(0.6);
+  double sum = 0.0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.GeometricLength(p);
+  EXPECT_NEAR(sum / kN, 1.0 / (1.0 - p), 0.05);
+}
+
+TEST(RngTest, GeometricLengthAtLeastOne) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.GeometricLength(0.9), 1);
+  EXPECT_EQ(rng.GeometricLength(0.0), 1);
+}
+
+TEST(RngTest, GeometricLengthTailProbability) {
+  // P(L > k) = p^k; check k = 5 at p = 0.5 -> 1/32.
+  Rng rng(37);
+  int longer = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) longer += (rng.GeometricLength(0.5) > 5);
+  EXPECT_NEAR(static_cast<double>(longer) / kN, 1.0 / 32.0, 0.005);
+}
+
+TEST(RngTest, ForkProducesDecorrelatedStream) {
+  Rng parent(41);
+  Rng child = parent.Fork(1);
+  // Child differs from a fresh parent-seeded stream and from the parent.
+  Rng parent_again(41);
+  EXPECT_NE(child.NextU64(), parent_again.NextU64());
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(43);
+  Rng b(43);
+  Rng ca = a.Fork(9);
+  Rng cb = b.Fork(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.NextU64(), cb.NextU64());
+}
+
+}  // namespace
+}  // namespace crashsim

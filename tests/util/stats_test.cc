@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(OnlineStatsTest, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.Stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a;
+  a.Add(1.0);
+  OnlineStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.25), 2.5);
+}
+
+TEST(PercentileTest, EmptyAndSingle) {
+  EXPECT_EQ(PercentileSorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted({3.0}, 0.99), 3.0);
+}
+
+TEST(SummarizeTest, BasicSummary) {
+  std::vector<double> values;
+  for (int i = 100; i >= 1; --i) values.push_back(i);  // 1..100 reversed
+  const SampleSummary s = Summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  const SampleSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(SummarizeTest, ToStringMentionsFields) {
+  const SampleSummary s = Summarize({1.0, 2.0, 3.0});
+  const std::string text = ToString(s);
+  EXPECT_NE(text.find("mean="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crashsim

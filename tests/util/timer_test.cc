@@ -1,0 +1,45 @@
+#include "util/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch sw;
+  const double a = sw.ElapsedSeconds();
+  const double b = sw.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, MeasuresSleepsApproximately) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = sw.ElapsedMillis();
+  EXPECT_GE(ms, 18.0);
+  EXPECT_LT(ms, 500.0);  // generous upper bound for loaded machines
+}
+
+TEST(StopwatchTest, UnitsAreConsistent) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = sw.ElapsedSeconds();
+  const double ms = sw.ElapsedMillis();
+  const double us = sw.ElapsedMicros();
+  EXPECT_NEAR(ms / 1000.0, s, 0.01);
+  EXPECT_NEAR(us / 1000.0, ms, 10.0);
+}
+
+TEST(StopwatchTest, ResetRestartsFromZero) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedMillis(), 8.0);
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,0 +1,373 @@
+// crashsim_cli — command-line front end for the library.
+//
+//   crashsim_cli stats    --graph FILE [--undirected]
+//   crashsim_cli topk     --graph FILE --source ID --k K --algo NAME ...
+//   crashsim_cli temporal --graph FILE --kind KIND --source ID ...
+//   crashsim_cli generate --dataset NAME --scale S [--snapshots T] --out FILE
+//
+// Static graphs are "src dst" edge lists (SNAP format, '#' comments);
+// temporal graphs carry a third snapshot column. Node ids in the output are
+// the *original* file ids.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/baseline_temporal.h"
+#include "core/crashsim.h"
+#include "core/crashsim_t.h"
+#include "core/durable_topk.h"
+#include "datasets/datasets.h"
+#include "eval/experiment.h"
+#include "graph/analysis.h"
+#include "graph/graph_io.h"
+#include "simrank/monte_carlo.h"
+#include "simrank/power_method.h"
+#include "simrank/probesim.h"
+#include "simrank/reads.h"
+#include "simrank/sling.h"
+#include "simrank/topk.h"
+#include "util/top_k.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace crashsim {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+void DefineAlgoFlags(FlagSet* flags) {
+  flags->DefineString("algo", "crashsim",
+                      "crashsim | probesim | sling | reads | mc | exact");
+  flags->DefineDouble("c", 0.6, "SimRank decay factor");
+  flags->DefineDouble("epsilon", 0.025, "max absolute error");
+  flags->DefineDouble("delta", 0.01, "failure probability");
+  flags->DefineInt("trials", 0, "Monte-Carlo trials (0 = from epsilon/delta)");
+  flags->DefineInt("threads", 1, "CrashSim candidate-evaluation threads");
+  flags->DefineInt("seed", 42, "RNG seed");
+  flags->DefineBool("paper_mode", false,
+                    "use the paper-verbatim revReach recurrence");
+}
+
+std::unique_ptr<SimRankAlgorithm> MakeAlgorithm(const FlagSet& flags) {
+  SimRankOptions mc;
+  mc.c = flags.GetDouble("c");
+  mc.epsilon = flags.GetDouble("epsilon");
+  mc.delta = flags.GetDouble("delta");
+  mc.trials_override = flags.GetInt("trials");
+  mc.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string algo = flags.GetString("algo");
+  if (algo == "crashsim") {
+    CrashSimOptions opt;
+    opt.mc = mc;
+    opt.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
+                                           : RevReachMode::kCorrected;
+    opt.num_threads = static_cast<int>(flags.GetInt("threads"));
+    return std::make_unique<CrashSim>(opt);
+  }
+  if (algo == "probesim") return std::make_unique<ProbeSim>(mc);
+  if (algo == "sling") return std::make_unique<Sling>(mc);
+  if (algo == "reads") {
+    ReadsOptions ro;
+    ro.c = mc.c;
+    ro.seed = mc.seed;
+    return std::make_unique<Reads>(ro);
+  }
+  if (algo == "mc") return std::make_unique<PairwiseMonteCarlo>(mc);
+  return nullptr;
+}
+
+// "exact" is handled out-of-band (it is not a SimRankAlgorithm and needs the
+// n^2 guard rail of PowerMethodAllPairs).
+
+int RunStats(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("graph", "", "edge-list file");
+  flags.DefineBool("undirected", false, "treat edges as undirected");
+  if (!flags.Parse(argc, argv)) return 1;
+  LoadedGraph loaded;
+  std::string error;
+  if (!LoadEdgeListFile(flags.GetString("graph"), flags.GetBool("undirected"),
+                        &loaded, &error)) {
+    return Fail(error);
+  }
+  const GraphStats stats = AnalyzeGraph(loaded.graph);
+  std::printf("%s\n", Summary(stats).c_str());
+  std::printf("in-degree  %s\n", stats.in_degrees.ToString().c_str());
+  std::printf("out-degree %s\n", stats.out_degrees.ToString().c_str());
+  return 0;
+}
+
+int RunTopK(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("graph", "", "edge-list file");
+  flags.DefineBool("undirected", false, "treat edges as undirected");
+  flags.DefineInt("source", 0, "source node id (original file id)");
+  flags.DefineInt("k", 10, "result count");
+  DefineAlgoFlags(&flags);
+  if (!flags.Parse(argc, argv)) return 1;
+
+  LoadedGraph loaded;
+  std::string error;
+  if (!LoadEdgeListFile(flags.GetString("graph"), flags.GetBool("undirected"),
+                        &loaded, &error)) {
+    return Fail(error);
+  }
+  const Graph& g = loaded.graph;
+
+  // Map the original source id to the dense internal id.
+  const int64_t original_source = flags.GetInt("source");
+  NodeId source = -1;
+  for (size_t i = 0; i < loaded.original_ids.size(); ++i) {
+    if (loaded.original_ids[i] == original_source) {
+      source = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  if (source < 0) return Fail("source id not present in the graph");
+
+  TopKResult top;
+  if (flags.GetString("algo") == "exact") {
+    const SimRankMatrix exact =
+        PowerMethodAllPairs(g, flags.GetDouble("c"), 55);
+    TopK<NodeId> selector(static_cast<size_t>(flags.GetInt("k")));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v != source) selector.Offer(exact.At(source, v), v);
+    }
+    top = selector.Sorted();
+  } else {
+    std::unique_ptr<SimRankAlgorithm> algo = MakeAlgorithm(flags);
+    if (!algo) return Fail("unknown --algo " + flags.GetString("algo"));
+    algo->Bind(&g);
+    top = TopKSimRank(algo.get(), source, static_cast<int>(flags.GetInt("k")));
+  }
+  std::printf("top-%lld nodes by s(%lld, v):\n",
+              static_cast<long long>(flags.GetInt("k")),
+              static_cast<long long>(original_source));
+  for (const auto& [score, v] : top) {
+    std::printf("  %lld  %.5f\n",
+                static_cast<long long>(loaded.original_ids[static_cast<size_t>(v)]),
+                score);
+  }
+  return 0;
+}
+
+int RunTemporal(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("graph", "", "temporal edge-list file (src dst snapshot)");
+  flags.DefineBool("undirected", false, "treat edges as undirected");
+  flags.DefineInt("source", 0, "source node id (original file id)");
+  flags.DefineString("kind", "threshold",
+                     "threshold | increasing | decreasing");
+  flags.DefineInt("begin", 0, "first snapshot of the query interval");
+  flags.DefineInt("end", -1, "last snapshot (-1 = final snapshot)");
+  flags.DefineDouble("theta", 0.05, "threshold value");
+  flags.DefineDouble("tolerance", 0.0, "trend noise tolerance");
+  flags.DefineString("engine", "crashsim-t",
+                     "crashsim-t | probesim-t | sling-t | reads-t");
+  DefineAlgoFlags(&flags);
+  if (!flags.Parse(argc, argv)) return 1;
+
+  LoadedTemporalGraph loaded;
+  std::string error;
+  if (!LoadTemporalEdgeListFile(flags.GetString("graph"),
+                                flags.GetBool("undirected"), &loaded, &error)) {
+    return Fail(error);
+  }
+  const TemporalGraph& tg = loaded.graph;
+
+  const int64_t original_source = flags.GetInt("source");
+  NodeId source = -1;
+  for (size_t i = 0; i < loaded.original_ids.size(); ++i) {
+    if (loaded.original_ids[i] == original_source) {
+      source = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  if (source < 0) return Fail("source id not present in the graph");
+
+  TemporalQuery query;
+  query.source = source;
+  query.begin_snapshot = static_cast<int>(flags.GetInt("begin"));
+  query.end_snapshot = flags.GetInt("end") < 0
+                           ? tg.num_snapshots() - 1
+                           : static_cast<int>(flags.GetInt("end"));
+  query.theta = flags.GetDouble("theta");
+  query.trend_tolerance = flags.GetDouble("tolerance");
+  const std::string kind = flags.GetString("kind");
+  if (kind == "threshold") {
+    query.kind = TemporalQueryKind::kThreshold;
+  } else if (kind == "increasing") {
+    query.kind = TemporalQueryKind::kTrendIncreasing;
+  } else if (kind == "decreasing") {
+    query.kind = TemporalQueryKind::kTrendDecreasing;
+  } else {
+    return Fail("unknown --kind " + kind);
+  }
+
+  SimRankOptions mc;
+  mc.c = flags.GetDouble("c");
+  mc.epsilon = flags.GetDouble("epsilon");
+  mc.delta = flags.GetDouble("delta");
+  mc.trials_override = flags.GetInt("trials");
+  mc.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  TemporalAnswer answer;
+  const std::string engine = flags.GetString("engine");
+  if (engine == "crashsim-t") {
+    CrashSimTOptions opt;
+    opt.crashsim.mc = mc;
+    opt.crashsim.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
+                                                    : RevReachMode::kCorrected;
+    opt.crashsim.num_threads = static_cast<int>(flags.GetInt("threads"));
+    CrashSimT e(opt);
+    answer = e.Answer(tg, query);
+  } else if (engine == "probesim-t") {
+    ProbeSim algo(mc);
+    StaticRecomputeEngine e(&algo);
+    answer = e.Answer(tg, query);
+  } else if (engine == "sling-t") {
+    Sling algo(mc);
+    StaticRecomputeEngine e(&algo);
+    answer = e.Answer(tg, query);
+  } else if (engine == "reads-t") {
+    ReadsOptions ro;
+    ro.c = mc.c;
+    ro.seed = mc.seed;
+    ReadsTemporalEngine e(ro);
+    answer = e.Answer(tg, query);
+  } else {
+    return Fail("unknown --engine " + engine);
+  }
+
+  std::printf("%zu nodes satisfy the %s query over snapshots [%d, %d]:\n",
+              answer.nodes.size(), kind.c_str(), query.begin_snapshot,
+              query.end_snapshot);
+  for (NodeId v : answer.nodes) {
+    std::printf("  %lld\n", static_cast<long long>(
+                                loaded.original_ids[static_cast<size_t>(v)]));
+  }
+  std::printf("(%d snapshots, %.3f s, %lld scores computed, %lld pruned)\n",
+              answer.stats.snapshots_processed, answer.stats.total_seconds,
+              static_cast<long long>(answer.stats.scores_computed),
+              static_cast<long long>(answer.stats.pruned_by_delta +
+                                     answer.stats.pruned_by_difference));
+  return 0;
+}
+
+int RunDurable(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("graph", "", "temporal edge-list file (src dst snapshot)");
+  flags.DefineBool("undirected", false, "treat edges as undirected");
+  flags.DefineInt("source", 0, "source node id (original file id)");
+  flags.DefineInt("k", 10, "result count");
+  flags.DefineInt("begin", 0, "first snapshot of the query interval");
+  flags.DefineInt("end", -1, "last snapshot (-1 = final snapshot)");
+  flags.DefineDouble("floor", 0.0, "discard durable scores below this");
+  DefineAlgoFlags(&flags);
+  if (!flags.Parse(argc, argv)) return 1;
+
+  LoadedTemporalGraph loaded;
+  std::string error;
+  if (!LoadTemporalEdgeListFile(flags.GetString("graph"),
+                                flags.GetBool("undirected"), &loaded, &error)) {
+    return Fail(error);
+  }
+  const TemporalGraph& tg = loaded.graph;
+  const int64_t original_source = flags.GetInt("source");
+  NodeId source = -1;
+  for (size_t i = 0; i < loaded.original_ids.size(); ++i) {
+    if (loaded.original_ids[i] == original_source) {
+      source = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  if (source < 0) return Fail("source id not present in the graph");
+
+  DurableTopKQuery query;
+  query.source = source;
+  query.begin_snapshot = static_cast<int>(flags.GetInt("begin"));
+  query.end_snapshot = flags.GetInt("end") < 0
+                           ? tg.num_snapshots() - 1
+                           : static_cast<int>(flags.GetInt("end"));
+  query.k = static_cast<int>(flags.GetInt("k"));
+  query.floor = flags.GetDouble("floor");
+
+  CrashSimOptions opt;
+  opt.mc.c = flags.GetDouble("c");
+  opt.mc.epsilon = flags.GetDouble("epsilon");
+  opt.mc.delta = flags.GetDouble("delta");
+  opt.mc.trials_override = flags.GetInt("trials");
+  opt.mc.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  opt.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
+                                         : RevReachMode::kCorrected;
+  opt.num_threads = static_cast<int>(flags.GetInt("threads"));
+
+  CrashSimDurableTopK engine(opt);
+  const DurableTopKAnswer answer = engine.Answer(tg, query);
+  std::printf("top-%d by durable (min over snapshots [%d, %d]) similarity to "
+              "%lld:\n",
+              query.k, query.begin_snapshot, query.end_snapshot,
+              static_cast<long long>(original_source));
+  for (const auto& [score, v] : answer.result) {
+    std::printf("  %lld  %.5f\n",
+                static_cast<long long>(
+                    loaded.original_ids[static_cast<size_t>(v)]),
+                score);
+  }
+  std::printf("(%.3f s, %lld scores computed)\n", answer.stats.total_seconds,
+              static_cast<long long>(answer.stats.scores_computed));
+  return 0;
+}
+
+int RunGenerate(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("dataset", "as733",
+                     "as733 | as-caida | wiki-vote | hepth | hepph");
+  flags.DefineDouble("scale", 0.05, "fraction of the published size");
+  flags.DefineInt("snapshots", 0, "snapshot count override");
+  flags.DefineInt("seed", 7, "generator seed");
+  flags.DefineString("out", "", "output temporal edge-list path");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (flags.GetString("out").empty()) return Fail("--out is required");
+
+  const Dataset ds = MakeDataset(flags.GetString("dataset"),
+                                 flags.GetDouble("scale"),
+                                 static_cast<int>(flags.GetInt("snapshots")),
+                                 static_cast<uint64_t>(flags.GetInt("seed")));
+  std::ofstream out(flags.GetString("out"));
+  if (!out) return Fail("cannot write " + flags.GetString("out"));
+  WriteTemporalEdgeList(ds.temporal, out);
+  std::printf("wrote %s stand-in: %d nodes, %lld edges, %d snapshots -> %s\n",
+              ds.spec.table_name.c_str(), ds.spec.nodes,
+              static_cast<long long>(ds.spec.edges), ds.spec.snapshots,
+              flags.GetString("out").c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: crashsim_cli <stats|topk|temporal|durable|generate> "
+               "[flags]\n"
+               "run a subcommand with --help for its flags\n");
+  return 1;
+}
+
+}  // namespace
+}  // namespace crashsim
+
+int main(int argc, char** argv) {
+  if (argc < 2) return crashsim::Usage();
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses its own flags.
+  if (command == "stats") return crashsim::RunStats(argc - 1, argv + 1);
+  if (command == "topk") return crashsim::RunTopK(argc - 1, argv + 1);
+  if (command == "temporal") return crashsim::RunTemporal(argc - 1, argv + 1);
+  if (command == "durable") return crashsim::RunDurable(argc - 1, argv + 1);
+  if (command == "generate") return crashsim::RunGenerate(argc - 1, argv + 1);
+  return crashsim::Usage();
+}
