@@ -1,15 +1,33 @@
 #include "core/baseline_temporal.h"
 
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace crashsim {
 
 void CheckQueryInterval(const TemporalGraph& tg, const TemporalQuery& query) {
-  CRASHSIM_CHECK_GE(query.begin_snapshot, 0);
-  CRASHSIM_CHECK_LE(query.begin_snapshot, query.end_snapshot);
-  CRASHSIM_CHECK_LT(query.end_snapshot, tg.num_snapshots());
-  CRASHSIM_CHECK(query.source >= 0 && query.source < tg.num_nodes());
+  const Status valid = ValidateQueryInterval(tg, query);
+  CRASHSIM_CHECK(valid.ok()) << valid;
+}
+
+Status ValidateQueryInterval(const TemporalGraph& tg,
+                             const TemporalQuery& query) {
+  if (query.begin_snapshot < 0) {
+    return InvalidArgumentError(StrFormat("begin_snapshot must be >= 0, got %d",
+                                          query.begin_snapshot));
+  }
+  if (query.begin_snapshot > query.end_snapshot) {
+    return InvalidArgumentError(
+        StrFormat("inverted snapshot interval [%d, %d]", query.begin_snapshot,
+                  query.end_snapshot));
+  }
+  if (query.end_snapshot >= tg.num_snapshots()) {
+    return InvalidArgumentError(
+        StrFormat("end_snapshot %d out of range (graph has %d snapshots)",
+                  query.end_snapshot, tg.num_snapshots()));
+  }
+  return ValidateNodeId(query.source, tg.num_nodes(), "source");
 }
 
 namespace {

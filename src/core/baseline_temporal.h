@@ -9,6 +9,7 @@
 #include "graph/temporal_graph.h"
 #include "simrank/reads.h"
 #include "simrank/simrank.h"
+#include "util/status.h"
 
 namespace crashsim {
 
@@ -28,6 +29,13 @@ struct TemporalAnswerStats {
 struct TemporalAnswer {
   std::vector<NodeId> nodes;  // the result set Omega, sorted
   TemporalAnswerStats stats;
+  // OK when the whole interval was processed. kDeadlineExceeded/kCancelled
+  // when a QueryContext stopped the engine early: `nodes` then reflects the
+  // filter state after the last *fully processed* snapshot (see
+  // stats.snapshots_processed) — a sound answer for the prefix interval.
+  Status status;
+
+  bool complete() const { return status.ok(); }
 };
 
 // Interface of every temporal SimRank query engine (CrashSim-T and the
@@ -78,6 +86,11 @@ class ReadsTemporalEngine : public TemporalEngine {
 // Validates the query interval against the temporal graph (CHECK-fails on
 // out-of-range or inverted intervals). Shared by all engines.
 void CheckQueryInterval(const TemporalGraph& tg, const TemporalQuery& query);
+
+// Status-returning variant for query paths that must not abort the process:
+// kInvalidArgument describing exactly which bound is out of range.
+Status ValidateQueryInterval(const TemporalGraph& tg,
+                             const TemporalQuery& query);
 
 }  // namespace crashsim
 

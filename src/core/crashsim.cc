@@ -7,13 +7,37 @@
 #include "simrank/walk.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/string_util.h"
 
 namespace crashsim {
+
+Status CrashSimOptions::Validate() const {
+  RETURN_IF_ERROR(mc.Validate());
+  if (lmax_override < 0) {
+    return InvalidArgumentError(
+        StrFormat("lmax_override must be >= 0, got %d", lmax_override));
+  }
+  if (!(tree_prune_threshold >= 0.0)) {
+    return InvalidArgumentError(StrFormat(
+        "tree_prune_threshold must be >= 0, got %g", tree_prune_threshold));
+  }
+  if (diag_samples < 1) {
+    return InvalidArgumentError(
+        StrFormat("diag_samples must be >= 1, got %d", diag_samples));
+  }
+  if (num_threads < 1) {
+    return InvalidArgumentError(
+        StrFormat("num_threads must be >= 1, got %d", num_threads));
+  }
+  return OkStatus();
+}
 
 CrashSim::CrashSim(const CrashSimOptions& options)
     : options_(options), sqrt_c_(std::sqrt(options.mc.c)), rng_(options.mc.seed) {}
 
 void CrashSim::Bind(const Graph* g) {
+  const Status valid = options_.Validate();
+  CRASHSIM_CHECK(valid.ok()) << valid;
   set_graph(g);
   diag_.clear();
   if (options_.mode == RevReachMode::kCorrected) {
@@ -118,6 +142,145 @@ std::vector<double> CrashSim::PartialWithTree(
     scores[ci] = (candidates[ci] == u) ? 1.0 : scores[ci] * inv;
   }
   return scores;
+}
+
+PartialResult CrashSim::SingleSource(NodeId u, QueryContext* ctx) {
+  std::vector<NodeId> all(static_cast<size_t>(graph()->num_nodes()));
+  std::iota(all.begin(), all.end(), 0);
+  return Partial(u, all, ctx);
+}
+
+PartialResult CrashSim::Partial(NodeId u, std::span<const NodeId> candidates,
+                                QueryContext* ctx) {
+  PartialResult result;
+  if (Status s = options_.Validate(); !s.ok()) {
+    result.status = s;
+    return result;
+  }
+  if (Status s = ValidateNodeId(u, graph()->num_nodes(), "source"); !s.ok()) {
+    result.status = s;
+    return result;
+  }
+  StatusOr<ReverseReachableTree> tree =
+      BuildRevReach(*graph(), u, LMax(), options_.mc.c, options_.mode,
+                    options_.tree_prune_threshold, ctx);
+  if (!tree.ok()) {
+    // Deadline/cancel during tree construction: no trials ran, the scores
+    // are all-zero placeholders and the bound is vacuous (+inf).
+    result.status = tree.status().WithContext("revReach tree construction");
+    result.trials_target = TrialsFor(graph()->num_nodes());
+    result.scores.assign(candidates.size(), 0.0);
+    return result;
+  }
+  return PartialWithTree(*tree, candidates, ctx);
+}
+
+PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
+                                        std::span<const NodeId> candidates,
+                                        QueryContext* ctx) {
+  PartialResult result;
+  if (Status s = options_.Validate(); !s.ok()) {
+    result.status = s;
+    return result;
+  }
+  const Graph& g = *graph();
+  const NodeId u = tree.source();
+  if (Status s = ValidateNodeId(u, g.num_nodes(), "source"); !s.ok()) {
+    result.status = s;
+    return result;
+  }
+  for (NodeId v : candidates) {
+    if (Status s = ValidateNodeId(v, g.num_nodes(), "candidate"); !s.ok()) {
+      result.status = s;
+      return result;
+    }
+  }
+  const int l_max = tree.max_level();
+  const int64_t n_r = TrialsFor(g.num_nodes());
+  const bool corrected = options_.mode == RevReachMode::kCorrected;
+  CRASHSIM_CHECK(!corrected || !diag_.empty())
+      << "corrected mode requires Bind() to estimate d(w)";
+  result.trials_target = n_r;
+  result.scores.assign(candidates.size(), 0.0);
+
+  // Every candidate draws from its own stream — the same (seed, source,
+  // candidate) derivation as the legacy parallel mode — so scores depend
+  // only on (seed, trials run), not on thread count or on where a deadline
+  // cut the loop.
+  std::vector<Rng> rngs;
+  rngs.reserve(candidates.size());
+  for (NodeId v : candidates) {
+    SplitMix64 mix(options_.mc.seed ^ (static_cast<uint64_t>(u) << 32) ^
+                   static_cast<uint64_t>(static_cast<uint32_t>(v)));
+    rngs.emplace_back(mix.Next());
+  }
+
+  // Runs `count` trials of candidate ci, accumulating raw crash mass into
+  // result.scores (normalised once the total trial count is known).
+  auto run_trials = [&](size_t ci, int64_t count, std::vector<NodeId>* walk) {
+    const NodeId v = candidates[ci];
+    Rng& rng = rngs[ci];
+    double total = 0.0;
+    for (int64_t k = 0; k < count; ++k) {
+      SampleSqrtCWalk(g, v, sqrt_c_, l_max, &rng, walk);
+      for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
+        const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
+        const double hit = tree.Probability(i - 1, w);
+        if (hit == 0.0) continue;
+        total += corrected ? hit * diag_[static_cast<size_t>(w)] : hit;
+      }
+    }
+    result.scores[ci] += total;
+  };
+
+  // Trial blocks grow 1, 2, 4, ..., 64: the first checkpoint lands after a
+  // single trial sweep (so even an already-expired deadline yields a
+  // non-empty partial answer), later checkpoints amortise the clock read.
+  // The context is only consulted *between* blocks, keeping every candidate
+  // at the same trial count — the invariant the anytime bound needs.
+  int64_t done = 0;
+  int64_t block = 1;
+  constexpr int64_t kMaxBlock = 64;
+  while (done < n_r) {
+    if (ctx != nullptr && done > 0) {
+      if (Status s = ctx->Check(); !s.ok()) {
+        result.status = s;
+        break;
+      }
+    }
+    const int64_t batch = std::min(block, n_r - done);
+    if (options_.num_threads > 1) {
+      ParallelFor(
+          static_cast<int64_t>(candidates.size()),
+          [&](int64_t begin, int64_t end) {
+            std::vector<NodeId> walk;
+            for (int64_t ci = begin; ci < end; ++ci) {
+              if (candidates[static_cast<size_t>(ci)] == u) continue;
+              run_trials(static_cast<size_t>(ci), batch, &walk);
+            }
+          },
+          /*min_chunk=*/8);
+    } else {
+      std::vector<NodeId> walk;
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        if (candidates[ci] == u) continue;
+        run_trials(ci, batch, &walk);
+      }
+    }
+    done += batch;
+    block = std::min(block * 2, kMaxBlock);
+    if (ctx != nullptr) ctx->ReportTrials(done, n_r);
+  }
+  result.trials_done = done;
+  if (done > 0) {
+    const double inv = 1.0 / static_cast<double>(done);
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      result.scores[ci] = (candidates[ci] == u) ? 1.0 : result.scores[ci] * inv;
+    }
+  }
+  result.epsilon_achieved = CrashSimAchievedEpsilon(
+      options_.mc.c, options_.mc.delta, g.num_nodes(), LMax(), done);
+  return result;
 }
 
 }  // namespace crashsim

@@ -4,9 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "core/query_context.h"
 #include "core/rev_reach.h"
 #include "simrank/simrank.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace crashsim {
 
@@ -30,6 +32,10 @@ struct CrashSimOptions {
   // but differ from the sequential stream, so keep the default for
   // bit-exact comparisons against single-threaded runs.
   int num_threads = 1;
+
+  // Domain check (delegates to mc.Validate() and covers the CrashSim-only
+  // knobs). Invoked at Bind and at every context-aware query entry.
+  Status Validate() const;
 };
 
 // CrashSim (Section III, Algorithm 1): index-free single-source and
@@ -58,6 +64,22 @@ class CrashSim : public SimRankAlgorithm {
   // tree once per snapshot for its pruning checks and reuses it here).
   std::vector<double> PartialWithTree(const ReverseReachableTree& tree,
                                       std::span<const NodeId> candidates);
+
+  // Deadline/cancellation-aware anytime variants. The context (nullptr =
+  // unbounded) is checked between trial blocks; on deadline or cancellation
+  // the returned PartialResult carries the exact scores of the trials_done
+  // trials that completed plus the achieved error bound — never a throw,
+  // never a block. Scores are deterministic given (seed, trials_done): every
+  // candidate draws from its own RNG stream derived from (seed, source,
+  // candidate), so a run cut short at k trials equals a fresh run with
+  // trials_override = k bit for bit (and the result is independent of
+  // num_threads, unlike the legacy sequential stream above).
+  PartialResult SingleSource(NodeId u, QueryContext* ctx);
+  PartialResult Partial(NodeId u, std::span<const NodeId> candidates,
+                        QueryContext* ctx);
+  PartialResult PartialWithTree(const ReverseReachableTree& tree,
+                                std::span<const NodeId> candidates,
+                                QueryContext* ctx);
 
   // Builds the source tree with this instance's parameters.
   ReverseReachableTree BuildTree(NodeId u) const;

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "graph/snapshot_diff.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace crashsim {
+
+Status CrashSimTOptions::Validate() const { return crashsim.Validate(); }
 
 CrashSimT::CrashSimT(const CrashSimTOptions& options)
     : options_(options), crashsim_(options.crashsim) {}
@@ -193,6 +197,249 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
     size_t fi = 0;
     for (size_t i = 0; i < omega.size(); ++i) {
       merged[i] = recompute[i] ? fresh[fi++]
+                               : filter.previous_score(omega[i]);
+    }
+    filter.Observe(merged);
+    ++answer.stats.snapshots_processed;
+
+    if (fresh_tree.has_value()) prev_tree = std::move(*fresh_tree);
+    prev_graph = g;
+  }
+
+  answer.nodes = filter.candidates();
+  answer.stats.total_seconds = timer.ElapsedSeconds();
+  return answer;
+}
+
+// Context-aware twin of the method above. It deliberately does NOT share the
+// body: the scoring inside uses the ctx-aware CrashSim path (per-candidate
+// RNG streams, anytime semantics), which draws different — though equally
+// valid — random numbers than the legacy sequential stream, and the legacy
+// method must stay bit-exact for the variant-equivalence tests. The pruning
+// decisions themselves are the same deterministic logic.
+TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
+                                 const TemporalQuery& query,
+                                 QueryContext* ctx) {
+  Stopwatch timer;
+  TemporalAnswer answer;
+  if (Status s = options_.Validate(); !s.ok()) {
+    answer.status = s;
+    return answer;
+  }
+  if (Status s = ValidateQueryInterval(tg, query); !s.ok()) {
+    answer.status = s;
+    return answer;
+  }
+  CandidateFilter filter(query, tg.num_nodes());
+
+  SnapshotCursor cursor(&tg);
+  while (cursor.snapshot_index() < query.begin_snapshot) cursor.Advance();
+
+  // Snapshot T_1: full partial evaluation over all candidates (line 2).
+  crashsim_.Bind(&cursor.graph());
+  const int l_max = crashsim_.LMax();
+  ReverseReachableTree prev_tree;
+  {
+    StatusOr<ReverseReachableTree> tree_or = BuildRevReach(
+        cursor.graph(), query.source, l_max, options_.crashsim.mc.c,
+        options_.crashsim.mode, options_.crashsim.tree_prune_threshold, ctx);
+    if (!tree_or.ok()) {
+      answer.status = tree_or.status().WithContext(
+          StrFormat("snapshot %d", query.begin_snapshot));
+      answer.nodes = filter.candidates();
+      answer.stats.total_seconds = timer.ElapsedSeconds();
+      return answer;
+    }
+    prev_tree = std::move(*tree_or);
+    PartialResult first =
+        crashsim_.PartialWithTree(prev_tree, filter.candidates(), ctx);
+    if (!first.complete()) {
+      answer.status =
+          first.status.WithContext(StrFormat("snapshot %d", query.begin_snapshot));
+      answer.nodes = filter.candidates();
+      answer.stats.total_seconds = timer.ElapsedSeconds();
+      return answer;
+    }
+    answer.stats.scores_computed +=
+        static_cast<int64_t>(filter.candidates().size());
+    filter.Observe(first.scores);
+    ++answer.stats.snapshots_processed;
+  }
+
+  Graph prev_graph = cursor.graph();
+
+  for (int t = query.begin_snapshot + 1;
+       t <= query.end_snapshot && !filter.candidates().empty(); ++t) {
+    // One checkpoint per snapshot; finer-grained checks happen inside the
+    // tree builds and the trial loop below.
+    if (ctx != nullptr) {
+      if (Status s = ctx->Check(); !s.ok()) {
+        answer.status = s.WithContext(StrFormat("snapshot %d", t));
+        break;
+      }
+    }
+    cursor.Advance();
+    const Graph& g = cursor.graph();
+    crashsim_.Bind(&g);
+
+    const EdgeDelta& delta = tg.Delta(t);
+    std::vector<NodeId> delta_heads;
+    delta_heads.reserve(delta.Size());
+    for (const Edge& e : delta.added) delta_heads.push_back(e.dst);
+    for (const Edge& e : delta.removed) delta_heads.push_back(e.dst);
+    std::sort(delta_heads.begin(), delta_heads.end());
+    delta_heads.erase(std::unique(delta_heads.begin(), delta_heads.end()),
+                      delta_heads.end());
+
+    // Source-tree stability (Algorithm 3 lines 5-7), as in the legacy path.
+    Status snapshot_status;
+    bool tree_stable;
+    std::optional<ReverseReachableTree> fresh_tree;
+    if (options_.reuse_source_tree) {
+      std::vector<char> in_reach(static_cast<size_t>(g.num_nodes()), 0);
+      for (NodeId w : ReverseReachableWithin(g, query.source, l_max)) {
+        in_reach[static_cast<size_t>(w)] = 1;
+      }
+      for (NodeId w :
+           ReverseReachableWithin(prev_graph, query.source, l_max)) {
+        in_reach[static_cast<size_t>(w)] = 1;
+      }
+      tree_stable = true;
+      for (NodeId y : delta_heads) {
+        if (in_reach[static_cast<size_t>(y)]) {
+          tree_stable = false;
+          break;
+        }
+      }
+      if (!tree_stable) {
+        StatusOr<ReverseReachableTree> tree_or = BuildRevReach(
+            g, query.source, l_max, options_.crashsim.mc.c,
+            options_.crashsim.mode, options_.crashsim.tree_prune_threshold,
+            ctx);
+        if (!tree_or.ok()) {
+          snapshot_status = tree_or.status();
+        } else {
+          fresh_tree = std::move(*tree_or);
+        }
+      }
+    } else {
+      StatusOr<ReverseReachableTree> tree_or = BuildRevReach(
+          g, query.source, l_max, options_.crashsim.mc.c,
+          options_.crashsim.mode, options_.crashsim.tree_prune_threshold, ctx);
+      if (!tree_or.ok()) {
+        snapshot_status = tree_or.status();
+        tree_stable = false;
+      } else {
+        fresh_tree = std::move(*tree_or);
+        tree_stable = (*fresh_tree == prev_tree);
+      }
+    }
+    if (!snapshot_status.ok()) {
+      answer.status = snapshot_status.WithContext(StrFormat("snapshot %d", t));
+      break;
+    }
+    const ReverseReachableTree& tree =
+        fresh_tree.has_value() ? *fresh_tree : prev_tree;
+
+    const std::vector<NodeId>& omega = filter.candidates();
+    const int64_t n_r = crashsim_.TrialsFor(g.num_nodes());
+
+    std::vector<char> recompute(omega.size(), 1);
+
+    if (tree_stable &&
+        (options_.enable_delta_pruning || options_.enable_difference_pruning)) {
+      ++answer.stats.stable_tree_snapshots;
+      const int64_t e_omega = CandidateEdgeCount(g, omega);
+      const int64_t e_delta = static_cast<int64_t>(delta.Size());
+
+      if (options_.enable_delta_pruning &&
+          (e_omega == 0 ||
+           e_delta < static_cast<int64_t>(omega.size()) * n_r / e_omega)) {
+        std::vector<char> affected(static_cast<size_t>(g.num_nodes()), 0);
+        for (NodeId y : delta_heads) {
+          for (NodeId v : ForwardReachableWithin(g, y, l_max - 1)) {
+            affected[static_cast<size_t>(v)] = 1;
+          }
+          for (NodeId v : ForwardReachableWithin(prev_graph, y, l_max - 1)) {
+            affected[static_cast<size_t>(v)] = 1;
+          }
+        }
+        for (size_t i = 0; i < omega.size(); ++i) {
+          if (!affected[static_cast<size_t>(omega[i])]) {
+            recompute[i] = 0;
+            ++answer.stats.pruned_by_delta;
+          }
+        }
+      }
+
+      if (options_.enable_difference_pruning && e_omega < n_r) {
+        std::vector<char> maybe_changed;
+        if (options_.difference_reachability_prefilter) {
+          maybe_changed.assign(static_cast<size_t>(g.num_nodes()), 0);
+          for (NodeId y : delta_heads) {
+            for (NodeId v : ForwardReachableWithin(g, y, l_max)) {
+              maybe_changed[static_cast<size_t>(v)] = 1;
+            }
+            for (NodeId v : ForwardReachableWithin(prev_graph, y, l_max)) {
+              maybe_changed[static_cast<size_t>(v)] = 1;
+            }
+          }
+        }
+        for (size_t i = 0; i < omega.size(); ++i) {
+          if (!recompute[i]) continue;
+          const NodeId v = omega[i];
+          bool unchanged;
+          if (options_.difference_reachability_prefilter &&
+              !maybe_changed[static_cast<size_t>(v)]) {
+            unchanged = true;
+          } else {
+            StatusOr<ReverseReachableTree> cur_or = BuildRevReach(
+                g, v, l_max, options_.crashsim.mc.c, options_.crashsim.mode,
+                options_.crashsim.tree_prune_threshold, ctx);
+            if (!cur_or.ok()) {
+              snapshot_status = cur_or.status();
+              break;
+            }
+            StatusOr<ReverseReachableTree> prev_or = BuildRevReach(
+                prev_graph, v, l_max, options_.crashsim.mc.c,
+                options_.crashsim.mode, options_.crashsim.tree_prune_threshold,
+                ctx);
+            if (!prev_or.ok()) {
+              snapshot_status = prev_or.status();
+              break;
+            }
+            unchanged = (*cur_or == *prev_or);
+          }
+          if (unchanged) {
+            recompute[i] = 0;
+            ++answer.stats.pruned_by_difference;
+          }
+        }
+        if (!snapshot_status.ok()) {
+          answer.status =
+              snapshot_status.WithContext(StrFormat("snapshot %d", t));
+          break;
+        }
+      }
+    }
+
+    // Line 20: CrashSim over the residual set Omega'.
+    std::vector<NodeId> residual;
+    residual.reserve(omega.size());
+    for (size_t i = 0; i < omega.size(); ++i) {
+      if (recompute[i]) residual.push_back(omega[i]);
+    }
+    PartialResult fresh = crashsim_.PartialWithTree(tree, residual, ctx);
+    if (!fresh.complete()) {
+      answer.status = fresh.status.WithContext(StrFormat("snapshot %d", t));
+      break;
+    }
+    answer.stats.scores_computed += static_cast<int64_t>(residual.size());
+
+    std::vector<double> merged(omega.size());
+    size_t fi = 0;
+    for (size_t i = 0; i < omega.size(); ++i) {
+      merged[i] = recompute[i] ? fresh.scores[fi++]
                                : filter.previous_score(omega[i]);
     }
     filter.Observe(merged);

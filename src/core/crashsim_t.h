@@ -36,6 +36,10 @@ struct CrashSimTOptions {
   // stable snapshots. Sound — the reachability test is conservative — and
   // verified equivalent to the literal path in tests.
   bool reuse_source_tree = true;
+
+  // Domain check (currently delegates to crashsim.Validate(); the pruning
+  // toggles are unconstrained booleans). Invoked at every query entry.
+  Status Validate() const;
 };
 
 // CrashSim-T (Section IV): answers temporal SimRank trend/threshold queries
@@ -51,6 +55,16 @@ class CrashSimT : public TemporalEngine {
   std::string name() const override { return "CrashSim-T"; }
   TemporalAnswer Answer(const TemporalGraph& tg,
                         const TemporalQuery& query) override;
+
+  // Deadline/cancellation-aware variant (ctx may be nullptr = unbounded).
+  // The context is checked before every snapshot and threaded into the
+  // per-snapshot CrashSim evaluation; on deadline/cancel the answer carries
+  // the candidate set after the last fully processed snapshot plus a
+  // non-OK status — partially evaluated snapshots are never observed, so
+  // the prefix answer is exactly what an unbounded run over the shorter
+  // interval would have produced.
+  TemporalAnswer Answer(const TemporalGraph& tg, const TemporalQuery& query,
+                        QueryContext* ctx);
 
   const CrashSimTOptions& options() const { return options_; }
 

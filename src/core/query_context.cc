@@ -1,0 +1,11 @@
+#include "core/query_context.h"
+
+namespace crashsim {
+
+QueryContext::QueryContext(std::chrono::milliseconds timeout)
+    : QueryContext(std::chrono::steady_clock::now() + timeout) {}
+
+QueryContext::QueryContext(std::chrono::steady_clock::time_point deadline)
+    : deadline_(deadline), has_deadline_(true) {}
+
+}  // namespace crashsim

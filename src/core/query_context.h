@@ -1,0 +1,95 @@
+#ifndef CRASHSIM_CORE_QUERY_CONTEXT_H_
+#define CRASHSIM_CORE_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crashsim {
+
+// Per-query lifecycle control: a steady-clock deadline, a cooperative
+// cancellation flag, and trial-progress counters a monitoring thread can
+// poll. Passed by pointer into the estimator entry points; nullptr means
+// "no deadline, not cancellable" and costs nothing.
+//
+// Thread safety: Cancel()/cancelled() and the progress counters are atomic
+// and may be called from any thread while a query runs. The deadline is
+// immutable after construction.
+class QueryContext {
+ public:
+  // No deadline; can still be cancelled. The atomic members make the type
+  // neither copyable nor movable — pass by pointer.
+  QueryContext() = default;
+
+  // Deadline `timeout` from now on the steady clock. A non-positive timeout
+  // produces an already-expired deadline (useful in tests).
+  explicit QueryContext(std::chrono::milliseconds timeout);
+  explicit QueryContext(std::chrono::steady_clock::time_point deadline);
+
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+  // Cooperative cancellation: flips the flag; the running query observes it
+  // at its next checkpoint and returns kCancelled with a partial answer.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  // Checkpoint test, cheap enough for inner loops (one atomic load; one
+  // clock read only when a deadline is set). Cancellation wins over the
+  // deadline when both hold.
+  Status Check() const {
+    if (cancelled()) return CancelledError("query cancelled");
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return DeadlineExceededError("query deadline exceeded");
+    }
+    return OkStatus();
+  }
+
+  // Progress counters, published by the estimator after every completed
+  // trial block so an observer can render "k / n_r trials".
+  void ReportTrials(int64_t done, int64_t target) {
+    trials_done_.store(done, std::memory_order_relaxed);
+    trials_target_.store(target, std::memory_order_relaxed);
+  }
+  int64_t trials_done() const {
+    return trials_done_.load(std::memory_order_relaxed);
+  }
+  int64_t trials_target() const {
+    return trials_target_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> trials_done_{0};
+  std::atomic<int64_t> trials_target_{0};
+};
+
+// An anytime single-source / partial SimRank answer. When the query ran to
+// completion status is OK and trials_done == trials_target; on deadline or
+// cancellation the scores are the *exact* result of running trials_done
+// trials (deterministic given seed and trials_done — see Theorem 1's
+// anytime reading), and epsilon_achieved quantifies the looser guarantee
+//   epsilon_achieved = sqrt(3 c log(n / delta) / trials_done) + p * eps_t.
+struct PartialResult {
+  // Aligned with the candidate span (score of the source itself is 1).
+  std::vector<double> scores;
+  int64_t trials_done = 0;
+  int64_t trials_target = 0;
+  // +infinity when trials_done == 0 (no bound without at least one trial).
+  double epsilon_achieved = std::numeric_limits<double>::infinity();
+  // kOk, kDeadlineExceeded, kCancelled, or kInvalidArgument (bad options /
+  // out-of-range ids; scores are empty in that case).
+  Status status;
+
+  bool complete() const { return status.ok(); }
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_CORE_QUERY_CONTEXT_H_

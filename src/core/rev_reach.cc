@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simrank/simrank.h"
 #include "util/logging.h"
 
 namespace crashsim {
@@ -31,6 +32,18 @@ ReverseReachableTree BuildRevReach(const Graph& g, NodeId u, int l_max,
                                    double c, RevReachMode mode,
                                    double prune_threshold) {
   CRASHSIM_CHECK(u >= 0 && u < g.num_nodes());
+  // Without a context the StatusOr variant can only fail on a bad source,
+  // which the CHECK above already rules out.
+  return BuildRevReach(g, u, l_max, c, mode, prune_threshold, nullptr)
+      .value();
+}
+
+StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
+                                             int l_max, double c,
+                                             RevReachMode mode,
+                                             double prune_threshold,
+                                             const QueryContext* ctx) {
+  RETURN_IF_ERROR(ValidateNodeId(u, g.num_nodes(), "source"));
   CRASHSIM_CHECK_GE(l_max, 0);
   const double sqrt_c = std::sqrt(c);
   const NodeId n = g.num_nodes();
@@ -62,6 +75,9 @@ ReverseReachableTree BuildRevReach(const Graph& g, NodeId u, int l_max,
   parent_of[static_cast<size_t>(u)] = -1;
 
   for (int level = 0; level < l_max && !frontier.empty(); ++level) {
+    // One deadline/cancel checkpoint per level: each level is O(m) work, the
+    // build's natural quantum.
+    if (ctx != nullptr) RETURN_IF_ERROR(ctx->Check());
     touched.clear();
     for (const auto& [x, prob] : frontier) {
       const NodeId exclude = (mode == RevReachMode::kPaper)

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/query_context.h"
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace crashsim {
 
@@ -71,8 +73,10 @@ class ReverseReachableTree {
                          const ReverseReachableTree& b);
 
  private:
-  friend ReverseReachableTree BuildRevReach(const Graph&, NodeId, int, double,
-                                            RevReachMode, double);
+  friend StatusOr<ReverseReachableTree> BuildRevReach(const Graph&, NodeId,
+                                                      int, double,
+                                                      RevReachMode, double,
+                                                      const QueryContext*);
 
   NodeId n_ = 0;
   NodeId source_ = -1;
@@ -84,9 +88,19 @@ class ReverseReachableTree {
 // probability falls below prune_threshold are dropped (0 keeps everything
 // non-zero; CrashSim uses a tiny epsilon-scaled default to bound work).
 // Worst case O(l_max * m), matching the paper's O(m)-per-level claim.
+// CHECK-fails on an out-of-range source (programmer error on this path).
 ReverseReachableTree BuildRevReach(const Graph& g, NodeId u, int l_max,
                                    double c, RevReachMode mode,
                                    double prune_threshold = 0.0);
+
+// Deadline/cancellation-aware variant: the context (nullptr = unbounded) is
+// checked once per level — the build's natural O(m) work quantum — and an
+// out-of-range source is a kInvalidArgument Status instead of a CHECK.
+StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
+                                             int l_max, double c,
+                                             RevReachMode mode,
+                                             double prune_threshold,
+                                             const QueryContext* ctx);
 
 }  // namespace crashsim
 

@@ -33,65 +33,117 @@ class IdRemapper {
   NodeId next_ = 0;
 };
 
-bool ParseLineFields(const std::string& line, size_t want,
-                     std::vector<int64_t>* out) {
+// Parses one line into exactly `want` int64 fields (or zero fields for
+// comments/blanks). `what` names the expected row shape for diagnostics.
+// Windows CRLF endings are tolerated: Trim strips the trailing '\r'.
+Status ParseLineFields(const std::string& line, int lineno, size_t want,
+                       const char* what, const EdgeListLimits& limits,
+                       std::vector<int64_t>* out) {
+  out->clear();
   const std::string_view trimmed = Trim(line);
   if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') {
-    out->clear();
-    return true;  // comment / blank: not an error, no fields
+    return OkStatus();  // comment / blank: not an error, no fields
   }
   const std::vector<std::string> fields = SplitWhitespace(trimmed);
-  if (fields.size() < want) return false;
-  out->clear();
+  if (fields.size() != want &&
+      !(limits.allow_extra_columns && fields.size() > want)) {
+    return InvalidArgumentError(
+        StrFormat("line %d: expected '%s' (%zu fields), got %zu field%s",
+                  lineno, what, want, fields.size(),
+                  fields.size() == 1 ? "" : "s"));
+  }
   for (size_t i = 0; i < want; ++i) {
     int64_t v;
-    if (!ParseInt64(fields[i], &v)) return false;
+    if (!ParseInt64(fields[i], &v)) {
+      return InvalidArgumentError(
+          StrFormat("line %d: field %zu '%s' is not a valid 64-bit integer "
+                    "(overflow or garbage)",
+                    lineno, i + 1, fields[i].c_str()));
+    }
     out->push_back(v);
   }
-  return true;
+  return OkStatus();
+}
+
+Status CheckStreamHealthy(const std::istream& in) {
+  // getline loops end at eof normally; bad() means the underlying stream
+  // failed mid-read (I/O error, truncated device, ...).
+  if (in.bad()) return DataLossError("stream read error before EOF");
+  return OkStatus();
+}
+
+Status CheckNodeLimit(const IdRemapper& remap, const EdgeListLimits& limits,
+                      int lineno) {
+  if (limits.max_nodes > 0 &&
+      static_cast<int64_t>(remap.size()) > limits.max_nodes) {
+    return ResourceExhaustedError(
+        StrFormat("line %d: node limit exceeded (max_nodes = %lld)", lineno,
+                  static_cast<long long>(limits.max_nodes)));
+  }
+  return OkStatus();
+}
+
+Status CheckEdgeLimit(int64_t edges, const EdgeListLimits& limits,
+                      int lineno) {
+  if (limits.max_edges > 0 && edges > limits.max_edges) {
+    return ResourceExhaustedError(
+        StrFormat("line %d: edge limit exceeded (max_edges = %lld)", lineno,
+                  static_cast<long long>(limits.max_edges)));
+  }
+  return OkStatus();
 }
 
 }  // namespace
 
-bool ReadEdgeList(std::istream& in,
-                  std::vector<std::pair<int64_t, int64_t>>* edges,
-                  std::string* error) {
+StatusOr<std::vector<std::pair<int64_t, int64_t>>> ReadEdgeList(
+    std::istream& in, const EdgeListLimits& limits) {
+  std::vector<std::pair<int64_t, int64_t>> edges;
   std::string line;
   int lineno = 0;
   std::vector<int64_t> fields;
   while (std::getline(in, line)) {
     ++lineno;
-    if (!ParseLineFields(line, 2, &fields)) {
-      *error = StrFormat("line %d: expected 'src dst'", lineno);
-      return false;
-    }
+    RETURN_IF_ERROR(
+        ParseLineFields(line, lineno, 2, "src dst", limits, &fields));
     if (fields.empty()) continue;
-    edges->emplace_back(fields[0], fields[1]);
+    if (fields[0] < 0 || fields[1] < 0) {
+      return InvalidArgumentError(StrFormat(
+          "line %d: negative node id %lld", lineno,
+          static_cast<long long>(fields[0] < 0 ? fields[0] : fields[1])));
+    }
+    edges.emplace_back(fields[0], fields[1]);
+    RETURN_IF_ERROR(
+        CheckEdgeLimit(static_cast<int64_t>(edges.size()), limits, lineno));
   }
-  return true;
+  RETURN_IF_ERROR(CheckStreamHealthy(in));
+  return edges;
 }
 
-bool LoadEdgeListFile(const std::string& path, bool undirected,
-                      LoadedGraph* out, std::string* error) {
+StatusOr<LoadedGraph> LoadEdgeListFile(const std::string& path,
+                                       bool undirected,
+                                       const EdgeListLimits& limits) {
   std::ifstream in(path);
-  if (!in) {
-    *error = "cannot open " + path;
-    return false;
-  }
-  std::vector<std::pair<int64_t, int64_t>> raw;
-  if (!ReadEdgeList(in, &raw, error)) {
-    *error = path + ": " + *error;
-    return false;
-  }
+  if (!in) return NotFoundError("cannot open " + path);
+  StatusOr<std::vector<std::pair<int64_t, int64_t>>> raw =
+      ReadEdgeList(in, limits);
+  if (!raw.ok()) return raw.status().WithContext(path);
   IdRemapper remap;
   std::vector<Edge> edges;
-  edges.reserve(raw.size());
-  for (const auto& [src, dst] : raw) {
+  edges.reserve(raw->size());
+  for (const auto& [src, dst] : *raw) {
     edges.push_back(Edge{remap.Map(src), remap.Map(dst)});
+    if (limits.max_nodes > 0 &&
+        static_cast<int64_t>(remap.size()) > limits.max_nodes) {
+      return ResourceExhaustedError(
+                 StrFormat("node limit exceeded (max_nodes = %lld)",
+                           static_cast<long long>(limits.max_nodes)))
+          .WithContext(path);
+    }
   }
-  out->graph = BuildGraph(remap.size(), edges, undirected);
-  out->original_ids = remap.TakeOriginals();
-  return true;
+  LoadedGraph out;
+  out.graph = BuildGraph(remap.size(), edges, undirected);
+  out.original_ids = remap.TakeOriginals();
+  return out;
 }
 
 void WriteEdgeList(const Graph& g, std::ostream& out) {
@@ -100,39 +152,61 @@ void WriteEdgeList(const Graph& g, std::ostream& out) {
   for (const Edge& e : g.Edges()) out << e.src << ' ' << e.dst << '\n';
 }
 
-bool LoadTemporalEdgeListFile(const std::string& path, bool undirected,
-                              LoadedTemporalGraph* out, std::string* error) {
+StatusOr<LoadedTemporalGraph> LoadTemporalEdgeListFile(
+    const std::string& path, bool undirected, const EdgeListLimits& limits) {
   std::ifstream in(path);
-  if (!in) {
-    *error = "cannot open " + path;
-    return false;
-  }
+  if (!in) return NotFoundError("cannot open " + path);
   std::string line;
   int lineno = 0;
+  int64_t rows = 0;
   std::vector<int64_t> fields;
   IdRemapper remap;
   // snapshot original index -> rows
   std::map<int64_t, std::vector<Edge>> snapshots;
   while (std::getline(in, line)) {
     ++lineno;
-    if (!ParseLineFields(line, 3, &fields)) {
-      *error = StrFormat("%s: line %d: expected 'src dst snapshot'",
-                         path.c_str(), lineno);
-      return false;
+    if (Status s = ParseLineFields(line, lineno, 3, "src dst snapshot",
+                                   limits, &fields);
+        !s.ok()) {
+      return s.WithContext(path);
     }
     if (fields.empty()) continue;
+    if (fields[0] < 0 || fields[1] < 0) {
+      return InvalidArgumentError(
+                 StrFormat("line %d: negative node id %lld", lineno,
+                           static_cast<long long>(
+                               fields[0] < 0 ? fields[0] : fields[1])))
+          .WithContext(path);
+    }
+    if (fields[2] < 0) {
+      return InvalidArgumentError(
+                 StrFormat("line %d: negative snapshot index %lld", lineno,
+                           static_cast<long long>(fields[2])))
+          .WithContext(path);
+    }
     snapshots[fields[2]].push_back(
         Edge{remap.Map(fields[0]), remap.Map(fields[1])});
+    ++rows;
+    if (Status s = CheckNodeLimit(remap, limits, lineno); !s.ok()) {
+      return s.WithContext(path);
+    }
+    if (Status s = CheckEdgeLimit(rows, limits, lineno); !s.ok()) {
+      return s.WithContext(path);
+    }
+  }
+  if (Status s = CheckStreamHealthy(in); !s.ok()) {
+    return s.WithContext(path);
   }
   if (snapshots.empty()) {
-    *error = path + ": no snapshots";
-    return false;
+    return InvalidArgumentError("no snapshots (file has no data rows)")
+        .WithContext(path);
   }
   TemporalGraphBuilder builder(remap.size(), undirected);
   for (const auto& [t, edges] : snapshots) builder.AddSnapshot(edges);
-  out->graph = builder.Build();
-  out->original_ids = remap.TakeOriginals();
-  return true;
+  LoadedTemporalGraph out;
+  out.graph = builder.Build();
+  out.original_ids = remap.TakeOriginals();
+  return out;
 }
 
 void WriteTemporalEdgeList(const TemporalGraph& tg, std::ostream& out) {

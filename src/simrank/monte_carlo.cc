@@ -15,7 +15,11 @@ PairwiseMonteCarlo::PairwiseMonteCarlo(const SimRankOptions& options)
                                                    : 64),
       rng_(options.seed) {}
 
-void PairwiseMonteCarlo::Bind(const Graph* g) { set_graph(g); }
+void PairwiseMonteCarlo::Bind(const Graph* g) {
+  const Status valid = options_.Validate();
+  CRASHSIM_CHECK(valid.ok()) << valid;
+  set_graph(g);
+}
 
 int64_t PairwiseMonteCarlo::TrialsFor(NodeId n) const {
   if (options_.trials_override > 0) return options_.trials_override;

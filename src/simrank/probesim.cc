@@ -16,6 +16,8 @@ ProbeSim::ProbeSim(const SimRankOptions& options)
       rng_(options.seed) {}
 
 void ProbeSim::Bind(const Graph* g) {
+  const Status valid = options_.Validate();
+  CRASHSIM_CHECK(valid.ok()) << valid;
   set_graph(g);
   const size_t n = static_cast<size_t>(g->num_nodes());
   level_cur_.assign(n, 0.0);

@@ -10,15 +10,27 @@
 
 namespace crashsim {
 
+Status ReadsOptions::Validate() const {
+  if (!(c > 0.0 && c < 1.0)) {
+    return InvalidArgumentError("READS decay factor c must be in (0, 1)");
+  }
+  if (r < 1) return InvalidArgumentError("READS r must be >= 1");
+  if (t < 1) return InvalidArgumentError("READS t must be >= 1");
+  if (r_q < 0 || r_q > r) {
+    return InvalidArgumentError("READS r_q must be in [0, r]");
+  }
+  return OkStatus();
+}
+
 Reads::Reads(const ReadsOptions& options)
     : options_(options), sqrt_c_(std::sqrt(options.c)), rng_(options.seed) {
-  CRASHSIM_CHECK_GE(options.r, 1);
-  CRASHSIM_CHECK_GE(options.t, 1);
-  CRASHSIM_CHECK_GE(options.r_q, 0);
-  CRASHSIM_CHECK_LE(options.r_q, options.r);
+  const Status valid = options.Validate();
+  CRASHSIM_CHECK(valid.ok()) << valid;
 }
 
 void Reads::Bind(const Graph* g) {
+  const Status valid = options_.Validate();
+  CRASHSIM_CHECK(valid.ok()) << valid;
   set_graph(g);
   const size_t n = static_cast<size_t>(g->num_nodes());
   next_.assign(static_cast<size_t>(options_.r) * n, -1);

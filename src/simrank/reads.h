@@ -19,6 +19,10 @@ struct ReadsOptions {
   int t = 10;     // walk length cap (steps)
   uint64_t seed = 42;
   double c = 0.6;
+
+  // Domain check mirroring SimRankOptions::Validate: c in (0, 1), r >= 1,
+  // t >= 1, 0 <= r_q <= r.
+  Status Validate() const;
 };
 
 // READS (Jiang et al., PVLDB 2017) — the index-based dynamic baseline.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace crashsim {
 
@@ -34,7 +35,17 @@ struct SimRankOptions {
   int max_walk_length = 0;
   // RNG seed; every algorithm is fully deterministic given the seed.
   uint64_t seed = 42;
+
+  // Domain check: c in (0, 1), epsilon > 0, delta in (0, 1), non-negative
+  // trial knobs. Invoked at every Bind/query entry so a typo'd sweep config
+  // (c = 1.2, epsilon = -0.1) fails loudly instead of silently producing
+  // garbage scores.
+  Status Validate() const;
 };
+
+// Shared by the algorithm entry points: source/candidate ids must lie in
+// [0, n). Returns kInvalidArgument naming the offending id otherwise.
+Status ValidateNodeId(NodeId v, NodeId n, const char* what);
 
 // Common interface of every single-source SimRank implementation in this
 // library. An instance is bound to one graph at a time; Bind() rebuilds any

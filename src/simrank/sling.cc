@@ -19,6 +19,8 @@ Sling::Sling(const SimRankOptions& options)
       rng_(options.seed) {}
 
 void Sling::Bind(const Graph* g) {
+  const Status valid = options_.Validate();
+  CRASHSIM_CHECK(valid.ok()) << valid;
   set_graph(g);
   Stopwatch timer;
   // Depth where even an un-branched walk's mass falls under the threshold.

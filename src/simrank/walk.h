@@ -38,6 +38,14 @@ int64_t CrashSimTrialCount(double c, double epsilon, double delta, NodeId n);
 // (from [10], quoted in the proof of Lemma 3).
 int64_t ProbeSimTrialCount(double c, double epsilon, double delta, NodeId n);
 
+// The anytime reading of Theorem 1: inverting Lemma 3, after n_done
+// completed trials (of a possibly larger plan) the achieved error bound is
+//   epsilon_achieved = sqrt(3 c log(n / delta) / n_done) + p * eps_t
+// with p and eps_t the truncation quantities at l_max. Returns +infinity
+// when n_done <= 0 — no trials, no bound.
+double CrashSimAchievedEpsilon(double c, double delta, NodeId n, int l_max,
+                               int64_t n_done);
+
 // Diagonal correction factors d(w) of the SLING decomposition
 //   s(u, v) = sum_t sum_w h_t(u, w) h_t(v, w) d(w):
 // d(w) = Pr[two independent sqrt(c)-walks from w never occupy the same node

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace crashsim {
@@ -23,6 +24,20 @@ void FlagSet::DefineInt(const std::string& name, int64_t def,
                         const std::string& help) {
   flags_[name] = Flag{Type::kInt, help, std::to_string(def),
                       std::to_string(def)};
+}
+
+void FlagSet::DefineIntInRange(const std::string& name, int64_t def,
+                               int64_t min, int64_t max,
+                               const std::string& help) {
+  CRASHSIM_CHECK(min <= max) << "flag --" << name << ": empty range";
+  CRASHSIM_CHECK(def >= min && def <= max)
+      << "flag --" << name << ": default " << def << " outside ["
+      << min << ", " << max << "]";
+  Flag flag{Type::kInt, help, std::to_string(def), std::to_string(def)};
+  flag.has_range = true;
+  flag.min = min;
+  flag.max = max;
+  flags_[name] = flag;
 }
 
 void FlagSet::DefineDouble(const std::string& name, double def,
@@ -55,6 +70,13 @@ bool FlagSet::SetValue(const std::string& name, const std::string& value,
       int64_t v;
       if (!ParseInt64(value, &v)) {
         *error = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      if (flag.has_range && (v < flag.min || v > flag.max)) {
+        *error = StrFormat("flag --%s expects an integer in [%lld, %lld], got %lld",
+                           name.c_str(), static_cast<long long>(flag.min),
+                           static_cast<long long>(flag.max),
+                           static_cast<long long>(v));
         return false;
       }
       break;
@@ -147,9 +169,15 @@ bool FlagSet::GetBool(const std::string& name) const {
 std::string FlagSet::Usage(const std::string& program) const {
   std::string out = "usage: " + program + " [flags]\n";
   for (const auto& [name, flag] : flags_) {
-    out += StrFormat("  --%-18s %-7s %s (default: %s)\n", name.c_str(),
+    out += StrFormat("  --%-18s %-7s %s (default: %s)", name.c_str(),
                      TypeName(static_cast<int>(flag.type)), flag.help.c_str(),
                      flag.default_value.c_str());
+    if (flag.has_range) {
+      out += StrFormat(" (range: [%lld, %lld])",
+                       static_cast<long long>(flag.min),
+                       static_cast<long long>(flag.max));
+    }
+    out += "\n";
   }
   return out;
 }

@@ -21,6 +21,12 @@ namespace crashsim {
 class FlagSet {
  public:
   void DefineInt(const std::string& name, int64_t def, const std::string& help);
+  // Integer flag constrained to [min, max] (inclusive). Parse rejects values
+  // outside the domain — e.g. --timeout_ms=-5 against [0, max] — with a
+  // message naming the accepted range. The default must itself be in range
+  // (programmer error otherwise).
+  void DefineIntInRange(const std::string& name, int64_t def, int64_t min,
+                        int64_t max, const std::string& help);
   void DefineDouble(const std::string& name, double def,
                     const std::string& help);
   void DefineString(const std::string& name, const std::string& def,
@@ -49,6 +55,10 @@ class FlagSet {
     std::string help;
     std::string value;    // current value, textual
     std::string default_value;
+    // kInt domain restriction (DefineIntInRange); ignored for other types.
+    bool has_range = false;
+    int64_t min = 0;
+    int64_t max = 0;
   };
 
   bool SetValue(const std::string& name, const std::string& value,

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -12,6 +14,12 @@ namespace crashsim {
 // Runs fn(begin, end) over [0, n) split into contiguous chunks across up to
 // hardware_concurrency() threads. Falls back to a single inline call for
 // small n. fn must be safe to run concurrently on disjoint ranges.
+//
+// Exception safety: an exception thrown by fn on any worker is captured,
+// every thread is still joined, and the first captured exception (by
+// completion order) is rethrown on the calling thread. Work already running
+// on other threads is not interrupted; results of a throwing run must be
+// discarded by the caller.
 inline void ParallelFor(int64_t n,
                         const std::function<void(int64_t, int64_t)>& fn,
                         int64_t min_chunk = 1024) {
@@ -25,14 +33,24 @@ inline void ParallelFor(int64_t n,
   }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(num_threads));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   const int64_t chunk = (n + num_threads - 1) / num_threads;
   for (int64_t t = 0; t < num_threads; ++t) {
     const int64_t begin = t * chunk;
     const int64_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+    threads.emplace_back([&fn, &first_error, &error_mutex, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace crashsim

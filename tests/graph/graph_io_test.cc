@@ -32,43 +32,41 @@ int TempFile::counter_ = 0;
 
 TEST(ReadEdgeListTest, ParsesWithCommentsAndBlanks) {
   std::istringstream in("# header\n1 2\n\n% other comment\n2 3\n");
-  std::vector<std::pair<int64_t, int64_t>> edges;
-  std::string error;
-  ASSERT_TRUE(ReadEdgeList(in, &edges, &error)) << error;
-  ASSERT_EQ(edges.size(), 2u);
-  EXPECT_EQ(edges[0], (std::pair<int64_t, int64_t>{1, 2}));
+  const auto edges = ReadEdgeList(in);
+  ASSERT_TRUE(edges.ok()) << edges.status();
+  ASSERT_EQ(edges->size(), 2u);
+  EXPECT_EQ((*edges)[0], (std::pair<int64_t, int64_t>{1, 2}));
 }
 
 TEST(ReadEdgeListTest, RejectsMalformedLine) {
   std::istringstream in("1 2\nbroken\n");
-  std::vector<std::pair<int64_t, int64_t>> edges;
-  std::string error;
-  EXPECT_FALSE(ReadEdgeList(in, &edges, &error));
-  EXPECT_NE(error.find("line 2"), std::string::npos);
+  const auto edges = ReadEdgeList(in);
+  ASSERT_FALSE(edges.ok());
+  EXPECT_EQ(edges.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(edges.status().message().find("line 2"), std::string::npos);
 }
 
 TEST(LoadEdgeListFileTest, RemapsSparseIds) {
   TempFile f("100 7\n7 100\n100 42\n");
-  LoadedGraph loaded;
-  std::string error;
-  ASSERT_TRUE(LoadEdgeListFile(f.path(), false, &loaded, &error)) << error;
-  EXPECT_EQ(loaded.graph.num_nodes(), 3);
-  EXPECT_EQ(loaded.graph.num_edges(), 3);
+  const auto loaded = LoadEdgeListFile(f.path(), false);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->graph.num_nodes(), 3);
+  EXPECT_EQ(loaded->graph.num_edges(), 3);
   // First-appearance order: 100 -> 0, 7 -> 1, 42 -> 2.
-  ASSERT_EQ(loaded.original_ids.size(), 3u);
-  EXPECT_EQ(loaded.original_ids[0], 100);
-  EXPECT_EQ(loaded.original_ids[1], 7);
-  EXPECT_EQ(loaded.original_ids[2], 42);
-  EXPECT_TRUE(loaded.graph.HasEdge(0, 1));
-  EXPECT_TRUE(loaded.graph.HasEdge(1, 0));
-  EXPECT_TRUE(loaded.graph.HasEdge(0, 2));
+  ASSERT_EQ(loaded->original_ids.size(), 3u);
+  EXPECT_EQ(loaded->original_ids[0], 100);
+  EXPECT_EQ(loaded->original_ids[1], 7);
+  EXPECT_EQ(loaded->original_ids[2], 42);
+  EXPECT_TRUE(loaded->graph.HasEdge(0, 1));
+  EXPECT_TRUE(loaded->graph.HasEdge(1, 0));
+  EXPECT_TRUE(loaded->graph.HasEdge(0, 2));
 }
 
 TEST(LoadEdgeListFileTest, MissingFileFails) {
-  LoadedGraph loaded;
-  std::string error;
-  EXPECT_FALSE(LoadEdgeListFile("/nonexistent/xyz.txt", false, &loaded, &error));
-  EXPECT_NE(error.find("cannot open"), std::string::npos);
+  const auto loaded = LoadEdgeListFile("/nonexistent/xyz.txt", false);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("cannot open"), std::string::npos);
 }
 
 TEST(EdgeListRoundTripTest, WriteThenLoadEqualGraph) {
@@ -77,12 +75,11 @@ TEST(EdgeListRoundTripTest, WriteThenLoadEqualGraph) {
   std::ostringstream out;
   WriteEdgeList(g, out);
   TempFile f(out.str());
-  LoadedGraph loaded;
-  std::string error;
-  ASSERT_TRUE(LoadEdgeListFile(f.path(), false, &loaded, &error)) << error;
+  const auto loaded = LoadEdgeListFile(f.path(), false);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
   // Ids were already dense and written in sorted order, so the graphs have
   // identical edge counts and each edge survives (possibly renumbered).
-  EXPECT_EQ(loaded.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded->graph.num_edges(), g.num_edges());
 }
 
 TEST(TemporalEdgeListTest, LoadGroupsSnapshots) {
@@ -92,16 +89,14 @@ TEST(TemporalEdgeListTest, LoadGroupsSnapshots) {
       "2 3 0\n"
       "1 2 5\n"  // snapshot indices need not be contiguous
       "3 4 5\n");
-  LoadedTemporalGraph loaded;
-  std::string error;
-  ASSERT_TRUE(LoadTemporalEdgeListFile(f.path(), false, &loaded, &error))
-      << error;
-  EXPECT_EQ(loaded.graph.num_snapshots(), 2);
-  EXPECT_EQ(loaded.graph.num_nodes(), 4);
-  const Graph g0 = loaded.graph.Snapshot(0);
+  const auto loaded = LoadTemporalEdgeListFile(f.path(), false);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->graph.num_snapshots(), 2);
+  EXPECT_EQ(loaded->graph.num_nodes(), 4);
+  const Graph g0 = loaded->graph.Snapshot(0);
   EXPECT_TRUE(g0.HasEdge(0, 1));
   EXPECT_TRUE(g0.HasEdge(1, 2));
-  const Graph g1 = loaded.graph.Snapshot(1);
+  const Graph g1 = loaded->graph.Snapshot(1);
   EXPECT_TRUE(g1.HasEdge(0, 1));
   EXPECT_FALSE(g1.HasEdge(1, 2));
   EXPECT_TRUE(g1.HasEdge(2, 3));
@@ -115,19 +110,18 @@ TEST(TemporalEdgeListTest, RoundTrip) {
   std::ostringstream out;
   WriteTemporalEdgeList(tg, out);
   TempFile f(out.str());
-  LoadedTemporalGraph loaded;
-  std::string error;
-  ASSERT_TRUE(LoadTemporalEdgeListFile(f.path(), false, &loaded, &error))
-      << error;
-  EXPECT_EQ(loaded.graph.num_snapshots(), 2);
-  EXPECT_EQ(loaded.graph.SnapshotEdges(1).size(), 2u);
+  const auto loaded = LoadTemporalEdgeListFile(f.path(), false);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->graph.num_snapshots(), 2);
+  EXPECT_EQ(loaded->graph.SnapshotEdges(1).size(), 2u);
 }
 
 TEST(TemporalEdgeListTest, EmptyFileFails) {
   TempFile f("# only comments\n");
-  LoadedTemporalGraph loaded;
-  std::string error;
-  EXPECT_FALSE(LoadTemporalEdgeListFile(f.path(), false, &loaded, &error));
+  const auto loaded = LoadTemporalEdgeListFile(f.path(), false);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("no snapshots"), std::string::npos);
 }
 
 }  // namespace

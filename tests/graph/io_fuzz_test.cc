@@ -1,6 +1,6 @@
 // Adversarial inputs for the edge-list parsers: the loaders must reject
-// malformed input with a useful error (never crash, never silently accept),
-// and accept every well-formed quirk (comments, blank lines, extra columns,
+// malformed input with a useful Status (never crash, never silently accept),
+// and accept every well-formed quirk (comments, blank lines, CRLF endings,
 // weird whitespace).
 #include <sstream>
 
@@ -12,45 +12,55 @@
 namespace crashsim {
 namespace {
 
-bool ParseStatic(const std::string& content, std::string* error) {
+Status ParseStatic(const std::string& content,
+                   const EdgeListLimits& limits = {}) {
   std::istringstream in(content);
-  std::vector<std::pair<int64_t, int64_t>> edges;
-  return ReadEdgeList(in, &edges, error);
+  return ReadEdgeList(in, limits).status();
 }
 
 TEST(EdgeListFuzzTest, AcceptsWellFormedQuirks) {
-  std::string error;
-  EXPECT_TRUE(ParseStatic("", &error));
-  EXPECT_TRUE(ParseStatic("\n\n\n", &error));
-  EXPECT_TRUE(ParseStatic("# only a comment\n", &error));
-  EXPECT_TRUE(ParseStatic("% matrix-market style comment\n1 2\n", &error));
-  EXPECT_TRUE(ParseStatic("1\t2\n", &error)) << error;          // tabs
-  EXPECT_TRUE(ParseStatic("  1   2  \n", &error)) << error;     // padding
-  EXPECT_TRUE(ParseStatic("1 2 extra columns ok\n", &error)) << error;
-  EXPECT_TRUE(ParseStatic("1 2", &error)) << error;  // no trailing newline
+  EXPECT_TRUE(ParseStatic("").ok());
+  EXPECT_TRUE(ParseStatic("\n\n\n").ok());
+  EXPECT_TRUE(ParseStatic("# only a comment\n").ok());
+  EXPECT_TRUE(ParseStatic("% matrix-market style comment\n1 2\n").ok());
+  EXPECT_TRUE(ParseStatic("1\t2\n").ok());       // tabs
+  EXPECT_TRUE(ParseStatic("  1   2  \n").ok());  // padding
+  EXPECT_TRUE(ParseStatic("1 2").ok());          // no trailing newline
+  EXPECT_TRUE(ParseStatic("1 2\r\n3 4\r\n").ok());  // Windows CRLF
+}
+
+TEST(EdgeListFuzzTest, ExtraColumnsAreOptIn) {
+  // Strict by default: a weight/timestamp column is a column-count error...
+  const Status strict = ParseStatic("1 2 extra columns\n");
+  EXPECT_EQ(strict.code(), StatusCode::kInvalidArgument);
+  // ...but SNAP exports with trailing columns load with the explicit opt-in.
+  EdgeListLimits permissive;
+  permissive.allow_extra_columns = true;
+  EXPECT_TRUE(ParseStatic("1 2 extra columns\n", permissive).ok());
 }
 
 TEST(EdgeListFuzzTest, RejectsMalformedLines) {
-  std::string error;
-  EXPECT_FALSE(ParseStatic("1\n", &error));
-  EXPECT_FALSE(ParseStatic("one two\n", &error));
-  EXPECT_FALSE(ParseStatic("1 2\n3 x\n", &error));
-  EXPECT_NE(error.find("line 2"), std::string::npos);
-  EXPECT_FALSE(ParseStatic("1.5 2\n", &error));
-  EXPECT_FALSE(ParseStatic("99999999999999999999999999 1\n", &error));
+  EXPECT_EQ(ParseStatic("1\n").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseStatic("one two\n").code(), StatusCode::kInvalidArgument);
+  const Status s = ParseStatic("1 2\n3 x\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+  EXPECT_EQ(ParseStatic("1.5 2\n").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseStatic("99999999999999999999999999 1\n").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseStatic("-1 2\n").code(), StatusCode::kInvalidArgument);
 }
 
 TEST(EdgeListFuzzTest, RandomByteSoupNeverCrashes) {
   Rng rng(99);
-  const char kAlphabet[] = "0123456789 \t\n#%-.abcXYZ";
+  const char kAlphabet[] = "0123456789 \t\n\r#%-.abcXYZ";
   for (int trial = 0; trial < 200; ++trial) {
     std::string soup;
     const int len = static_cast<int>(rng.NextBounded(200));
     for (int i = 0; i < len; ++i) {
       soup.push_back(kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)]);
     }
-    std::string error;
-    ParseStatic(soup, &error);  // outcome is input-dependent; no crash/UB
+    ParseStatic(soup);  // outcome is input-dependent; no crash/UB
   }
 }
 
@@ -67,8 +77,8 @@ TEST(EdgeListFuzzTest, RandomValidFilesAlwaysParse) {
                 << '\n';
       }
     }
-    std::string error;
-    EXPECT_TRUE(ParseStatic(content.str(), &error)) << error;
+    const Status s = ParseStatic(content.str());
+    EXPECT_TRUE(s.ok()) << s;
   }
 }
 

@@ -32,10 +32,9 @@ TEST(IoPipelineTest, SaveLoadPreservesEverySnapshot) {
     std::ofstream out(file.path());
     WriteTemporalEdgeList(ds.temporal, out);
   }
-  LoadedTemporalGraph loaded;
-  std::string error;
-  ASSERT_TRUE(LoadTemporalEdgeListFile(file.path(), false, &loaded, &error))
-      << error;
+  const auto loaded_or = LoadTemporalEdgeListFile(file.path(), false);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const LoadedTemporalGraph& loaded = *loaded_or;
   ASSERT_EQ(loaded.graph.num_snapshots(), ds.temporal.num_snapshots());
   // Ids are written densely and remapped by first appearance; compare edge
   // counts per snapshot plus full structural equality after remap.
@@ -53,10 +52,9 @@ TEST(IoPipelineTest, QueriesAgreeAcrossTheRoundTrip) {
     std::ofstream out(file.path());
     WriteTemporalEdgeList(ds.temporal, out);
   }
-  LoadedTemporalGraph loaded;
-  std::string error;
-  ASSERT_TRUE(LoadTemporalEdgeListFile(file.path(), false, &loaded, &error))
-      << error;
+  const auto loaded_or = LoadTemporalEdgeListFile(file.path(), false);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const LoadedTemporalGraph& loaded = *loaded_or;
 
   // Map the in-memory source through the file remapping.
   const NodeId source = 7;

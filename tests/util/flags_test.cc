@@ -98,5 +98,55 @@ TEST(FlagsTest, UsageListsFlags) {
   EXPECT_NE(usage.find("default: 20"), std::string::npos);
 }
 
+TEST(FlagsTest, IntInRangeAcceptsDomainValues) {
+  FlagSet flags;
+  flags.DefineIntInRange("timeout_ms", 0, 0, 86400000, "query deadline");
+  Argv args({"prog", "--timeout_ms=250"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(flags.GetInt("timeout_ms"), 250);
+}
+
+TEST(FlagsTest, IntInRangeAcceptsBoundaryValues) {
+  FlagSet flags;
+  flags.DefineIntInRange("threads", 4, 1, 256, "worker threads");
+  {
+    Argv args({"prog", "--threads=1"});
+    ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+    EXPECT_EQ(flags.GetInt("threads"), 1);
+  }
+  {
+    Argv args({"prog", "--threads=256"});
+    ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+    EXPECT_EQ(flags.GetInt("threads"), 256);
+  }
+}
+
+TEST(FlagsTest, IntInRangeRejectsOutOfDomainValues) {
+  FlagSet flags;
+  flags.DefineIntInRange("timeout_ms", 0, 0, 86400000, "query deadline");
+  {
+    Argv args({"prog", "--timeout_ms=-5"});
+    EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+  }
+  {
+    Argv args({"prog", "--timeout_ms=86400001"});
+    EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+  }
+}
+
+TEST(FlagsTest, IntInRangeStillRejectsGarbage) {
+  FlagSet flags;
+  flags.DefineIntInRange("timeout_ms", 0, 0, 1000, "query deadline");
+  Argv args({"prog", "--timeout_ms=soon"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, UsageShowsRange) {
+  FlagSet flags;
+  flags.DefineIntInRange("timeout_ms", 0, 0, 1000, "query deadline");
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("range: [0, 1000]"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace crashsim

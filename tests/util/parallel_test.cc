@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -51,6 +53,42 @@ TEST(ParallelForTest, RangesAreDisjointAndOrderedWithinChunk) {
       },
       /*min_chunk=*/64);
   EXPECT_EQ(total.load(), 5000);
+}
+
+TEST(ParallelForTest, WorkerExceptionIsRethrownAfterJoin) {
+  // Regression: an exception escaping a worker thread used to reach the
+  // thread boundary and call std::terminate. It must now surface on the
+  // calling thread after every worker joined.
+  const int64_t kN = 100000;
+  std::atomic<int64_t> processed{0};
+  auto boom = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      if (i == kN / 2) throw std::runtime_error("worker failure at midpoint");
+      processed++;
+    }
+  };
+  EXPECT_THROW(ParallelFor(kN, boom, /*min_chunk=*/64), std::runtime_error);
+  // All chunks either completed or stopped at the throwing index — nothing
+  // deadlocked and the count is sane.
+  EXPECT_LT(processed.load(), kN);
+}
+
+TEST(ParallelForTest, InlinePathPropagatesExceptionToo) {
+  EXPECT_THROW(
+      ParallelFor(
+          5, [](int64_t, int64_t) { throw std::logic_error("inline"); },
+          /*min_chunk=*/1024),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, FirstExceptionWinsWhenSeveralWorkersThrow) {
+  EXPECT_THROW(ParallelFor(
+                   100000,
+                   [](int64_t begin, int64_t) {
+                     throw std::runtime_error("chunk " + std::to_string(begin));
+                   },
+                   /*min_chunk=*/64),
+               std::runtime_error);
 }
 
 TEST(ParallelForTest, ParallelSumMatchesSequential) {

@@ -8,6 +8,13 @@
 // Static graphs are "src dst" edge lists (SNAP format, '#' comments);
 // temporal graphs carry a third snapshot column. Node ids in the output are
 // the *original* file ids.
+//
+// Exit codes (see docs/ERRORS.md): 0 success, 1 usage/flag-parse error, then
+// one distinct code per StatusCode — 2 INVALID_ARGUMENT, 3 NOT_FOUND,
+// 4 DEADLINE_EXCEEDED, 5 CANCELLED, 6 RESOURCE_EXHAUSTED, 7 DATA_LOSS —
+// so sweep scripts can tell a timeout from a bad input without scraping
+// stderr.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -18,6 +25,7 @@
 #include "core/crashsim.h"
 #include "core/crashsim_t.h"
 #include "core/durable_topk.h"
+#include "core/query_context.h"
 #include "datasets/datasets.h"
 #include "eval/experiment.h"
 #include "graph/analysis.h"
@@ -28,6 +36,7 @@
 #include "simrank/reads.h"
 #include "simrank/sling.h"
 #include "simrank/topk.h"
+#include "util/status.h"
 #include "util/top_k.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -38,6 +47,26 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+// Maps a Status to the CLI's exit code. Parse/usage failures use 1, so every
+// StatusCode gets its own code starting at 2.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kDeadlineExceeded: return 4;
+    case StatusCode::kCancelled: return 5;
+    case StatusCode::kResourceExhausted: return 6;
+    case StatusCode::kDataLoss: return 7;
+  }
+  return 1;
+}
+
+int FailStatus(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
 }
 
 void DefineAlgoFlags(FlagSet* flags) {
@@ -89,12 +118,10 @@ int RunStats(int argc, char** argv) {
   flags.DefineString("graph", "", "edge-list file");
   flags.DefineBool("undirected", false, "treat edges as undirected");
   if (!flags.Parse(argc, argv)) return 1;
-  LoadedGraph loaded;
-  std::string error;
-  if (!LoadEdgeListFile(flags.GetString("graph"), flags.GetBool("undirected"),
-                        &loaded, &error)) {
-    return Fail(error);
-  }
+  const auto loaded_or = LoadEdgeListFile(flags.GetString("graph"),
+                                          flags.GetBool("undirected"));
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
+  const LoadedGraph& loaded = *loaded_or;
   const GraphStats stats = AnalyzeGraph(loaded.graph);
   std::printf("%s\n", Summary(stats).c_str());
   std::printf("in-degree  %s\n", stats.in_degrees.ToString().c_str());
@@ -108,15 +135,15 @@ int RunTopK(int argc, char** argv) {
   flags.DefineBool("undirected", false, "treat edges as undirected");
   flags.DefineInt("source", 0, "source node id (original file id)");
   flags.DefineInt("k", 10, "result count");
+  flags.DefineIntInRange("timeout_ms", 0, 0, 86400000,
+                         "query deadline in ms (0 = unbounded; crashsim only)");
   DefineAlgoFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
 
-  LoadedGraph loaded;
-  std::string error;
-  if (!LoadEdgeListFile(flags.GetString("graph"), flags.GetBool("undirected"),
-                        &loaded, &error)) {
-    return Fail(error);
-  }
+  const auto loaded_or = LoadEdgeListFile(flags.GetString("graph"),
+                                          flags.GetBool("undirected"));
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
+  const LoadedGraph& loaded = *loaded_or;
   const Graph& g = loaded.graph;
 
   // Map the original source id to the dense internal id.
@@ -128,7 +155,56 @@ int RunTopK(int argc, char** argv) {
       break;
     }
   }
-  if (source < 0) return Fail("source id not present in the graph");
+  if (source < 0) {
+    return FailStatus(NotFoundError("source id not present in the graph"));
+  }
+
+  // Deadline-bounded anytime path: run the context-aware CrashSim query,
+  // report whatever the completed trials support, and exit with the
+  // deadline/cancel code when the budget ran out.
+  const int64_t timeout_ms = flags.GetInt("timeout_ms");
+  if (timeout_ms > 0) {
+    if (flags.GetString("algo") != "crashsim") {
+      return FailStatus(
+          InvalidArgumentError("--timeout_ms requires --algo crashsim"));
+    }
+    CrashSimOptions opt;
+    opt.mc.c = flags.GetDouble("c");
+    opt.mc.epsilon = flags.GetDouble("epsilon");
+    opt.mc.delta = flags.GetDouble("delta");
+    opt.mc.trials_override = flags.GetInt("trials");
+    opt.mc.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    opt.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
+                                           : RevReachMode::kCorrected;
+    opt.num_threads = static_cast<int>(flags.GetInt("threads"));
+    if (Status s = opt.Validate(); !s.ok()) return FailStatus(s);
+    CrashSim algo(opt);
+    algo.Bind(&g);
+    QueryContext ctx{std::chrono::milliseconds(timeout_ms)};
+    const PartialResult result = algo.SingleSource(source, &ctx);
+    if (result.scores.empty()) return FailStatus(result.status);
+    TopK<NodeId> selector(static_cast<size_t>(flags.GetInt("k")));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v != source) selector.Offer(result.scores[static_cast<size_t>(v)], v);
+    }
+    std::printf("top-%lld nodes by s(%lld, v):\n",
+                static_cast<long long>(flags.GetInt("k")),
+                static_cast<long long>(original_source));
+    for (const auto& [score, v] : selector.Sorted()) {
+      std::printf("  %lld  %.5f\n",
+                  static_cast<long long>(
+                      loaded.original_ids[static_cast<size_t>(v)]),
+                  score);
+    }
+    std::printf("(anytime: %lld/%lld trials, epsilon_achieved=%.17g)\n",
+                static_cast<long long>(result.trials_done),
+                static_cast<long long>(result.trials_target),
+                result.epsilon_achieved);
+    if (!result.complete()) {
+      std::fprintf(stderr, "warning: %s\n", result.status.ToString().c_str());
+    }
+    return ExitCodeFor(result.status);
+  }
 
   TopKResult top;
   if (flags.GetString("algo") == "exact") {
@@ -141,7 +217,10 @@ int RunTopK(int argc, char** argv) {
     top = selector.Sorted();
   } else {
     std::unique_ptr<SimRankAlgorithm> algo = MakeAlgorithm(flags);
-    if (!algo) return Fail("unknown --algo " + flags.GetString("algo"));
+    if (!algo) {
+      return FailStatus(
+          InvalidArgumentError("unknown --algo " + flags.GetString("algo")));
+    }
     algo->Bind(&g);
     top = TopKSimRank(algo.get(), source, static_cast<int>(flags.GetInt("k")));
   }
@@ -169,15 +248,15 @@ int RunTemporal(int argc, char** argv) {
   flags.DefineDouble("tolerance", 0.0, "trend noise tolerance");
   flags.DefineString("engine", "crashsim-t",
                      "crashsim-t | probesim-t | sling-t | reads-t");
+  flags.DefineIntInRange("timeout_ms", 0, 0, 86400000,
+                         "query deadline in ms (0 = unbounded; crashsim-t only)");
   DefineAlgoFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
 
-  LoadedTemporalGraph loaded;
-  std::string error;
-  if (!LoadTemporalEdgeListFile(flags.GetString("graph"),
-                                flags.GetBool("undirected"), &loaded, &error)) {
-    return Fail(error);
-  }
+  const auto loaded_or = LoadTemporalEdgeListFile(flags.GetString("graph"),
+                                                  flags.GetBool("undirected"));
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
+  const LoadedTemporalGraph& loaded = *loaded_or;
   const TemporalGraph& tg = loaded.graph;
 
   const int64_t original_source = flags.GetInt("source");
@@ -188,7 +267,9 @@ int RunTemporal(int argc, char** argv) {
       break;
     }
   }
-  if (source < 0) return Fail("source id not present in the graph");
+  if (source < 0) {
+    return FailStatus(NotFoundError("source id not present in the graph"));
+  }
 
   TemporalQuery query;
   query.source = source;
@@ -206,7 +287,7 @@ int RunTemporal(int argc, char** argv) {
   } else if (kind == "decreasing") {
     query.kind = TemporalQueryKind::kTrendDecreasing;
   } else {
-    return Fail("unknown --kind " + kind);
+    return FailStatus(InvalidArgumentError("unknown --kind " + kind));
   }
 
   SimRankOptions mc;
@@ -216,6 +297,7 @@ int RunTemporal(int argc, char** argv) {
   mc.trials_override = flags.GetInt("trials");
   mc.seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
+  const int64_t timeout_ms = flags.GetInt("timeout_ms");
   TemporalAnswer answer;
   const std::string engine = flags.GetString("engine");
   if (engine == "crashsim-t") {
@@ -225,7 +307,15 @@ int RunTemporal(int argc, char** argv) {
                                                     : RevReachMode::kCorrected;
     opt.crashsim.num_threads = static_cast<int>(flags.GetInt("threads"));
     CrashSimT e(opt);
-    answer = e.Answer(tg, query);
+    if (timeout_ms > 0) {
+      QueryContext ctx{std::chrono::milliseconds(timeout_ms)};
+      answer = e.Answer(tg, query, &ctx);
+    } else {
+      answer = e.Answer(tg, query);
+    }
+  } else if (timeout_ms > 0) {
+    return FailStatus(
+        InvalidArgumentError("--timeout_ms requires --engine crashsim-t"));
   } else if (engine == "probesim-t") {
     ProbeSim algo(mc);
     StaticRecomputeEngine e(&algo);
@@ -241,7 +331,7 @@ int RunTemporal(int argc, char** argv) {
     ReadsTemporalEngine e(ro);
     answer = e.Answer(tg, query);
   } else {
-    return Fail("unknown --engine " + engine);
+    return FailStatus(InvalidArgumentError("unknown --engine " + engine));
   }
 
   std::printf("%zu nodes satisfy the %s query over snapshots [%d, %d]:\n",
@@ -256,7 +346,13 @@ int RunTemporal(int argc, char** argv) {
               static_cast<long long>(answer.stats.scores_computed),
               static_cast<long long>(answer.stats.pruned_by_delta +
                                      answer.stats.pruned_by_difference));
-  return 0;
+  if (!answer.complete()) {
+    std::fprintf(stderr,
+                 "warning: interval cut short after %d snapshot(s): %s\n",
+                 answer.stats.snapshots_processed,
+                 answer.status.ToString().c_str());
+  }
+  return ExitCodeFor(answer.status);
 }
 
 int RunDurable(int argc, char** argv) {
@@ -271,12 +367,10 @@ int RunDurable(int argc, char** argv) {
   DefineAlgoFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
 
-  LoadedTemporalGraph loaded;
-  std::string error;
-  if (!LoadTemporalEdgeListFile(flags.GetString("graph"),
-                                flags.GetBool("undirected"), &loaded, &error)) {
-    return Fail(error);
-  }
+  const auto loaded_or = LoadTemporalEdgeListFile(flags.GetString("graph"),
+                                                  flags.GetBool("undirected"));
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
+  const LoadedTemporalGraph& loaded = *loaded_or;
   const TemporalGraph& tg = loaded.graph;
   const int64_t original_source = flags.GetInt("source");
   NodeId source = -1;
@@ -286,7 +380,9 @@ int RunDurable(int argc, char** argv) {
       break;
     }
   }
-  if (source < 0) return Fail("source id not present in the graph");
+  if (source < 0) {
+    return FailStatus(NotFoundError("source id not present in the graph"));
+  }
 
   DurableTopKQuery query;
   query.source = source;

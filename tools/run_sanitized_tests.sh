@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the tree with sanitizers enabled and runs the full test suite under
+# them. Default is ASan+UBSan in one pass; pass a CRASHSIM_SANITIZE value to
+# override, e.g.:
+#
+#   tools/run_sanitized_tests.sh            # address,undefined
+#   tools/run_sanitized_tests.sh thread     # TSan (separate build dir)
+#
+# Each sanitizer combination gets its own build directory
+# (build-sanitized-<combo>) so incremental rebuilds stay correct.
+set -euo pipefail
+
+SANITIZERS="${1:-address,undefined}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-sanitized-${SANITIZERS//,/-}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# Make sanitizer findings fatal and loud.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCRASHSIM_SANITIZE="${SANITIZERS}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
