@@ -1,8 +1,22 @@
 // Component microbenchmarks (google-benchmark): the primitive costs behind
 // the paper-level experiments — walk sampling, revReach construction in both
-// modes, a ProbeSim trial, SLING/READS index construction and queries, the
+// modes, sparse-tree Probability() lookup throughput (hit and miss paths), a
+// ProbeSim trial, SLING/READS index construction and queries, the
 // power-method iteration, and snapshot materialisation.
+//
+// Besides the standard --benchmark_* flags, the binary accepts
+//   --json <path>   (or --json=<path>)
+// which also writes the results as a stable machine-readable schema: a JSON
+// array of {"bench", "n", "m", "ns_per_op", "tree_bytes"} objects (0 for
+// fields a benchmark does not populate). tools/run_benchmarks.sh feeds the
+// BENCH_*.json perf trajectory from it.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "core/crashsim.h"
 #include "core/rev_reach.h"
@@ -32,6 +46,11 @@ const Graph& FixtureGraph(int64_t n) {
   return it->second;
 }
 
+void SetGraphCounters(benchmark::State& state, const Graph& g) {
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  state.counters["m"] = static_cast<double>(g.num_edges());
+}
+
 void BM_SampleSqrtCWalk(benchmark::State& state) {
   const Graph& g = FixtureGraph(state.range(0));
   Rng rng(1);
@@ -43,28 +62,92 @@ void BM_SampleSqrtCWalk(benchmark::State& state) {
     v = static_cast<NodeId>((v + 1) % g.num_nodes());
   }
   state.SetItemsProcessed(state.iterations());
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_SampleSqrtCWalk)->Arg(1000)->Arg(10000);
 
 void BM_BuildRevReachPaper(benchmark::State& state) {
   const Graph& g = FixtureGraph(state.range(0));
+  int64_t tree_bytes = 0;
   for (auto _ : state) {
     const auto tree =
         BuildRevReach(g, 1, 35, 0.6, RevReachMode::kPaper, 1e-9);
     benchmark::DoNotOptimize(tree.EntryCount());
+    tree_bytes = tree.MemoryBytes();
   }
+  SetGraphCounters(state, g);
+  state.counters["tree_bytes"] = static_cast<double>(tree_bytes);
 }
 BENCHMARK(BM_BuildRevReachPaper)->Arg(1000)->Arg(10000);
 
 void BM_BuildRevReachCorrected(benchmark::State& state) {
   const Graph& g = FixtureGraph(state.range(0));
+  int64_t tree_bytes = 0;
   for (auto _ : state) {
     const auto tree =
         BuildRevReach(g, 1, 35, 0.6, RevReachMode::kCorrected, 1e-9);
     benchmark::DoNotOptimize(tree.EntryCount());
+    tree_bytes = tree.MemoryBytes();
   }
+  SetGraphCounters(state, g);
+  state.counters["tree_bytes"] = static_cast<double>(tree_bytes);
 }
 BENCHMARK(BM_BuildRevReachCorrected)->Arg(1000)->Arg(10000);
+
+void BM_TreeProbabilityHit(benchmark::State& state) {
+  // Lookup throughput on entries known to be present: binary search over
+  // the level slice, preceded by the bitset test on dense levels.
+  const Graph& g = FixtureGraph(state.range(0));
+  const auto tree =
+      BuildRevReach(g, 1, 35, 0.6, RevReachMode::kCorrected, 1e-9);
+  std::vector<std::pair<int, NodeId>> probes;
+  for (int level = 0; level <= tree.max_level(); ++level) {
+    const auto span = tree.Level(level);
+    if (!span.empty()) probes.push_back({level, span[span.size() / 2].node});
+  }
+  size_t i = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    const auto& [level, v] = probes[i];
+    sink += tree.Probability(level, v);
+    benchmark::DoNotOptimize(sink);
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  SetGraphCounters(state, g);
+  state.counters["tree_bytes"] = static_cast<double>(tree.MemoryBytes());
+}
+BENCHMARK(BM_TreeProbabilityHit)->Arg(1000)->Arg(10000);
+
+void BM_TreeProbabilityMiss(benchmark::State& state) {
+  // The common case in trial scoring: a walk step that is NOT in the tree.
+  // Probes sweep nodes absent from each level (the bitset fast-reject path
+  // on dense levels, a short binary search otherwise).
+  const Graph& g = FixtureGraph(state.range(0));
+  const auto tree =
+      BuildRevReach(g, 1, 35, 0.6, RevReachMode::kCorrected, 1e-9);
+  std::vector<std::pair<int, NodeId>> probes;
+  for (int level = 1; level <= tree.max_level(); ++level) {
+    NodeId v = static_cast<NodeId>((7919 * level) % g.num_nodes());
+    for (int guard = 0; guard < g.num_nodes(); ++guard) {
+      if (tree.Probability(level, v) == 0.0) break;
+      v = static_cast<NodeId>((v + 1) % g.num_nodes());
+    }
+    probes.push_back({level, v});
+  }
+  size_t i = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    const auto& [level, v] = probes[i];
+    sink += tree.Probability(level, v);
+    benchmark::DoNotOptimize(sink);
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  SetGraphCounters(state, g);
+  state.counters["tree_bytes"] = static_cast<double>(tree.MemoryBytes());
+}
+BENCHMARK(BM_TreeProbabilityMiss)->Arg(1000)->Arg(10000);
 
 void BM_CrashSimTrialBatch(benchmark::State& state) {
   // 100 trials over a 64-candidate set against a prebuilt tree.
@@ -80,6 +163,8 @@ void BM_CrashSimTrialBatch(benchmark::State& state) {
     auto scores = algo.PartialWithTree(tree, candidates);
     benchmark::DoNotOptimize(scores.data());
   }
+  SetGraphCounters(state, g);
+  state.counters["tree_bytes"] = static_cast<double>(tree.MemoryBytes());
 }
 BENCHMARK(BM_CrashSimTrialBatch)->Arg(1000)->Arg(10000);
 
@@ -95,6 +180,7 @@ void BM_ProbeSimTrialBatch(benchmark::State& state) {
     auto scores = algo.SingleSource(1);
     benchmark::DoNotOptimize(scores.data());
   }
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_ProbeSimTrialBatch)->Arg(1000)->Arg(10000);
 
@@ -106,6 +192,7 @@ void BM_SlingIndexBuild(benchmark::State& state) {
     algo.Bind(&g);
     benchmark::DoNotOptimize(algo.index_stats().reverse_entries);
   }
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_SlingIndexBuild)->Arg(1000)->Unit(benchmark::kMillisecond);
 
@@ -117,6 +204,7 @@ void BM_ReadsIndexBuild(benchmark::State& state) {
     algo.Bind(&g);
     benchmark::DoNotOptimize(algo.IndexBytes());
   }
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_ReadsIndexBuild)->Arg(1000)->Arg(10000);
 
@@ -131,6 +219,7 @@ void BM_ReadsQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(scores.data());
     u = static_cast<NodeId>((u + 1) % g.num_nodes());
   }
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_ReadsQuery)->Arg(1000)->Arg(10000);
 
@@ -140,6 +229,7 @@ void BM_PowerMethodIteration(benchmark::State& state) {
     const auto m = PowerMethodAllPairs(g, 0.6, 1);
     benchmark::DoNotOptimize(m.At(0, 1));
   }
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_PowerMethodIteration)->Arg(1000)->Unit(benchmark::kMillisecond);
 
@@ -166,8 +256,100 @@ void BM_GraphBuild(benchmark::State& state) {
     const Graph rebuilt = BuildGraph(g.num_nodes(), edges);
     benchmark::DoNotOptimize(rebuilt.num_edges());
   }
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_GraphBuild)->Arg(10000)->Unit(benchmark::kMillisecond);
 
+// Console output as usual, plus a copy of every run for the --json export.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) runs_.push_back(r);
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+double CounterOrZero(const benchmark::UserCounters& counters,
+                     const std::string& key) {
+  const auto it = counters.find(key);
+  return it == counters.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+// Stable schema consumed by tools/run_benchmarks.sh: a JSON array of
+// {bench, n, m, ns_per_op, tree_bytes}. Additive changes only.
+bool WriteJson(const std::string& path,
+               const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open --json path %s\n", path.c_str());
+    return false;
+  }
+  out << "[\n";
+  bool first = true;
+  for (const auto& run : runs) {
+    if (run.error_occurred) continue;
+    const double ns_per_op =
+        run.iterations == 0
+            ? 0.0
+            : run.real_accumulated_time * 1e9 /
+                  static_cast<double>(run.iterations);
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"bench\": \"" << JsonEscape(run.benchmark_name())
+        << "\", \"n\": "
+        << static_cast<int64_t>(CounterOrZero(run.counters, "n"))
+        << ", \"m\": "
+        << static_cast<int64_t>(CounterOrZero(run.counters, "m"))
+        << ", \"ns_per_op\": " << ns_per_op << ", \"tree_bytes\": "
+        << static_cast<int64_t>(CounterOrZero(run.counters, "tree_bytes"))
+        << "}";
+  }
+  out << "\n]\n";
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 }  // namespace crashsim
+
+int main(int argc, char** argv) {
+  // Extract --json <path> / --json=<path> before google-benchmark sees the
+  // command line (it rejects flags it does not own).
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  crashsim::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    if (!crashsim::WriteJson(json_path, reporter.runs())) return 1;
+    std::printf("[json written to %s]\n", json_path.c_str());
+  }
+  return 0;
+}

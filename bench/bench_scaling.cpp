@@ -35,8 +35,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(trials),
               static_cast<long long>(flags.GetInt("candidates")));
 
-  ResultTable table({"n", "m", "crashsim tree ms", "crashsim query ms",
-                     "probesim query ms"});
+  ResultTable table({"n", "m", "crashsim tree ms", "tree KB",
+                     "crashsim query ms", "probesim query ms"});
   for (const std::string& part : Split(flags.GetString("sizes"), ',')) {
     int64_t n = 0;
     if (!ParseInt64(part, &n) || n < 100) continue;
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
     double tree_ms = 0;
     double crash_ms = 0;
     double probe_ms = 0;
+    int64_t tree_bytes = 0;
     Rng source_rng(17);
     for (int r = 0; r < reps; ++r) {
       const NodeId u =
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
       Stopwatch t1;
       const ReverseReachableTree tree = crash.BuildTree(u);
       tree_ms += t1.ElapsedMillis();
+      tree_bytes += tree.MemoryBytes();
       Stopwatch t2;
       auto s1 = crash.PartialWithTree(tree, candidates);
       crash_ms += t2.ElapsedMillis();
@@ -81,13 +83,15 @@ int main(int argc, char** argv) {
     }
     table.AddRow({std::to_string(n), std::to_string(g.num_edges()),
                   StrFormat("%.2f", tree_ms / reps),
+                  StrFormat("%.1f", static_cast<double>(tree_bytes) / reps / 1024.0),
                   StrFormat("%.2f", crash_ms / reps),
                   StrFormat("%.2f", probe_ms / reps)});
   }
   table.Print(std::cout);
   crashsim::bench::MaybeWriteCsv(table, flags.GetString("csv"));
   std::printf("\nexpected: 'crashsim query ms' flat in n (fixed n_r and\n"
-              "|Omega|); 'crashsim tree ms' linear in m; ProbeSim grows with\n"
-              "the probe neighbourhood.\n");
+              "|Omega|); 'crashsim tree ms' linear in m; 'tree KB' tracks the\n"
+              "live entry count (CSR storage), not l_max*n; ProbeSim grows\n"
+              "with the probe neighbourhood.\n");
   return 0;
 }

@@ -93,8 +93,12 @@ std::vector<double> CrashSim::PartialWithTree(
   auto run_candidate = [&](NodeId v, Rng* rng, std::vector<NodeId>* walk) {
     double total = 0.0;
     for (int64_t k = 0; k < n_r; ++k) {
-      // Algorithm 1 line 8: W(v) truncated to l_max nodes.
-      SampleSqrtCWalk(g, v, sqrt_c_, l_max, rng, walk);
+      // Algorithm 1 line 8, with the depth off-by-one fixed: the tree holds
+      // levels 0..l_max, and walk position i scores against level i, so the
+      // walk must reach step l_max (l_max + 1 nodes) for the deepest level
+      // to ever contribute. The truncation error is then (sqrt c)^{l_max+1}
+      // <= eps_t, still within Theorem 1's budget.
+      SampleSqrtCWalk(g, v, sqrt_c_, l_max + 1, rng, walk);
       // Lines 10-11: crash the walk into the source tree.
       for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
         const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
@@ -123,7 +127,7 @@ std::vector<double> CrashSim::PartialWithTree(
             scores[static_cast<size_t>(ci)] = run_candidate(v, &rng, &walk);
           }
         },
-        /*min_chunk=*/8);
+        /*min_chunk=*/8, options_.num_threads);
   } else {
     std::vector<NodeId> walk;
     // Note the trial/candidate loop order is inverted relative to Algorithm
@@ -222,7 +226,9 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
     Rng& rng = rngs[ci];
     double total = 0.0;
     for (int64_t k = 0; k < count; ++k) {
-      SampleSqrtCWalk(g, v, sqrt_c_, l_max, &rng, walk);
+      // l_max + 1 nodes = l_max steps, so level l_max of the tree is
+      // reachable (see the depth note in the legacy path above).
+      SampleSqrtCWalk(g, v, sqrt_c_, l_max + 1, &rng, walk);
       for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
         const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
         const double hit = tree.Probability(i - 1, w);
@@ -259,7 +265,7 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
               run_trials(static_cast<size_t>(ci), batch, &walk);
             }
           },
-          /*min_chunk=*/8);
+          /*min_chunk=*/8, options_.num_threads);
     } else {
       std::vector<NodeId> walk;
       for (size_t ci = 0; ci < candidates.size(); ++ci) {

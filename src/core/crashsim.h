@@ -27,10 +27,11 @@ struct CrashSimOptions {
   // Corrected mode only: paired-walk samples per node for the diagonal
   // corrections d(w).
   int diag_samples = 100;
-  // > 1 evaluates candidates in parallel. Parallel results are deterministic
-  // in (seed, source, candidate) — independent of the actual thread count —
-  // but differ from the sequential stream, so keep the default for
-  // bit-exact comparisons against single-threaded runs.
+  // > 1 evaluates candidates in parallel on the shared thread pool, using at
+  // most this many threads (the pool never spawns per query). Parallel
+  // results are deterministic in (seed, source, candidate) — independent of
+  // the actual thread count — but differ from the sequential stream, so keep
+  // the default for bit-exact comparisons against single-threaded runs.
   int num_threads = 1;
 
   // Domain check (delegates to mc.Validate() and covers the CrashSim-only

@@ -4,6 +4,7 @@
 
 #include "simrank/walk.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace crashsim {
 
@@ -39,19 +40,22 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
   CRASHSIM_CHECK(!corrected || !diag.empty())
       << "corrected mode requires Bind() to estimate d(w)";
 
-  std::vector<NodeId> walk;
-  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+  // Scores one candidate column: per-candidate stream (same derivation as
+  // CrashSim's parallel mode, so batching does not depend on the
+  // candidate-set composition) and disjoint result columns, which makes the
+  // loop safe and bit-identical under candidate-level parallelism.
+  auto run_candidate = [&](size_t ci, std::vector<NodeId>* walk) {
     const NodeId v = candidates[ci];
-    // Per-candidate stream (same derivation as CrashSim's parallel mode, so
-    // batching does not depend on the candidate-set composition).
     SplitMix64 mix(crashsim_.options().mc.seed ^
                    static_cast<uint64_t>(static_cast<uint32_t>(v)) ^
                    0xa5a5a5a5a5a5a5a5ULL);
     Rng rng(mix.Next());
     for (int64_t k = 0; k < n_r; ++k) {
-      SampleSqrtCWalk(g, v, sqrt_c, l_max, &rng, &walk);
-      for (int i = 2; i <= static_cast<int>(walk.size()); ++i) {
-        const NodeId w = walk[static_cast<size_t>(i - 1)];
+      // l_max + 1 nodes = l_max steps, so level l_max of every source tree
+      // is reachable (same depth fix as CrashSim's trial loops).
+      SampleSqrtCWalk(g, v, sqrt_c, l_max + 1, &rng, walk);
+      for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
+        const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
         const double weight =
             corrected ? diag[static_cast<size_t>(w)] : 1.0;
         // Score this walk position against every source tree at once.
@@ -60,6 +64,23 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
           if (hit != 0.0) result[si][ci] += hit * weight;
         }
       }
+    }
+  };
+
+  if (crashsim_.options().num_threads > 1) {
+    ParallelFor(
+        static_cast<int64_t>(candidates.size()),
+        [&](int64_t begin, int64_t end) {
+          std::vector<NodeId> walk;
+          for (int64_t ci = begin; ci < end; ++ci) {
+            run_candidate(static_cast<size_t>(ci), &walk);
+          }
+        },
+        /*min_chunk=*/8, crashsim_.options().num_threads);
+  } else {
+    std::vector<NodeId> walk;
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      run_candidate(ci, &walk);
     }
   }
 

@@ -24,6 +24,9 @@ namespace crashsim {
 // construction — use the *same* walk sample for every source, which makes
 // per-source score differences lower-variance than independent runs (paired
 // sampling), a desirable property when ranking sources per candidate.
+// options.num_threads > 1 evaluates candidate columns in parallel on the
+// shared pool; per-candidate streams keep the result bit-identical to the
+// sequential pass at any thread count.
 class CrashSimMultiSource {
  public:
   explicit CrashSimMultiSource(const CrashSimOptions& options);

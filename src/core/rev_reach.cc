@@ -8,24 +8,49 @@
 
 namespace crashsim {
 
-int64_t ReverseReachableTree::EntryCount() const {
-  int64_t total = 0;
-  for (const auto& level : levels_) total += static_cast<int64_t>(level.size());
-  return total;
+int64_t ReverseReachableTree::MemoryBytes() const {
+  return static_cast<int64_t>(entries_.capacity() * sizeof(Entry) +
+                              level_offsets_.capacity() * sizeof(int64_t) +
+                              level_bits_.capacity() * sizeof(uint64_t) +
+                              bits_offset_.capacity() * sizeof(int64_t));
 }
 
 std::vector<NodeId> ReverseReachableTree::SupportNodes() const {
   std::vector<NodeId> nodes;
-  for (const auto& level : levels_) {
-    for (const Entry& e : level) nodes.push_back(e.node);
-  }
+  nodes.reserve(entries_.size());
+  for (const Entry& e : entries_) nodes.push_back(e.node);
   std::sort(nodes.begin(), nodes.end());
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
   return nodes;
 }
 
 bool operator==(const ReverseReachableTree& a, const ReverseReachableTree& b) {
-  return a.n_ == b.n_ && a.source_ == b.source_ && a.levels_ == b.levels_;
+  // The bitsets are derived from (level_offsets_, entries_), so comparing
+  // the CSR pair is the exact structural equality the dense representation
+  // used to provide.
+  return a.n_ == b.n_ && a.source_ == b.source_ &&
+         a.level_offsets_ == b.level_offsets_ && a.entries_ == b.entries_;
+}
+
+void ReverseReachableTree::AppendLevel(std::span<const Entry> level) {
+  entries_.insert(entries_.end(), level.begin(), level.end());
+  level_offsets_.push_back(static_cast<int64_t>(entries_.size()));
+  // A level earns a bitset once the n/64 words cost at most a few bytes per
+  // entry (size >= n/256): lookups against dense levels are the hot miss
+  // path, and the bitset keeps total storage O(EntryCount()).
+  if (!level.empty() && static_cast<int64_t>(level.size()) * 256 >=
+                            static_cast<int64_t>(n_)) {
+    const size_t words = (static_cast<size_t>(n_) + 63) / 64;
+    bits_offset_.push_back(static_cast<int64_t>(level_bits_.size()));
+    level_bits_.resize(level_bits_.size() + words, 0);
+    uint64_t* bits = level_bits_.data() + bits_offset_.back();
+    for (const Entry& e : level) {
+      bits[static_cast<size_t>(e.node) >> 6] |=
+          uint64_t{1} << (static_cast<uint64_t>(e.node) & 63);
+    }
+  } else {
+    bits_offset_.push_back(-1);
+  }
 }
 
 ReverseReachableTree BuildRevReach(const Graph& g, NodeId u, int l_max,
@@ -51,27 +76,24 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
   ReverseReachableTree tree;
   tree.n_ = n;
   tree.source_ = u;
-  tree.dense_.assign(static_cast<size_t>(l_max + 1) * static_cast<size_t>(n),
-                     0.0f);
-  tree.levels_.resize(static_cast<size_t>(l_max + 1));
+  tree.level_offsets_.reserve(static_cast<size_t>(l_max) + 2);
+  tree.level_offsets_.push_back(0);
 
-  auto cell = [&](int level, NodeId v) -> float& {
-    return tree.dense_[static_cast<size_t>(level) * static_cast<size_t>(n) +
-                       static_cast<size_t>(v)];
-  };
-
-  cell(0, u) = 1.0f;
-  tree.levels_[0].push_back({u, 1.0f});
-
+  // O(n) build scratch, reset lazily through the touched list: cur[v]
+  // accumulates the level being built (float, double-precision products —
+  // the exact arithmetic the dense representation used).
+  std::vector<float> cur(static_cast<size_t>(n), 0.0f);
   // first_parent[v] = first contributor to v on the level being built; -1
-  // when untouched. Reset lazily via the touched list.
+  // when untouched.
   std::vector<NodeId> first_parent(static_cast<size_t>(n), -1);
   // parent_of[x] = recorded tree parent of x on the *current* level.
   std::vector<NodeId> parent_of(static_cast<size_t>(n), -1);
   std::vector<NodeId> next_parent_of(static_cast<size_t>(n), -1);
   std::vector<NodeId> touched;
 
-  std::vector<ReverseReachableTree::Entry> frontier = tree.levels_[0];
+  std::vector<ReverseReachableTree::Entry> frontier{{u, 1.0f}};
+  std::vector<ReverseReachableTree::Entry> level_entries;
+  tree.AppendLevel(frontier);
   parent_of[static_cast<size_t>(u)] = -1;
 
   for (int level = 0; level < l_max && !frontier.empty(); ++level) {
@@ -98,7 +120,7 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
             (mode == RevReachMode::kPaper)
                 ? sqrt_c / static_cast<double>(std::max(1, g.InDegree(v)))
                 : out_factor;
-        float& slot = cell(level + 1, v);
+        float& slot = cur[static_cast<size_t>(v)];
         if (first_parent[static_cast<size_t>(v)] < 0) {
           first_parent[static_cast<size_t>(v)] = x;
           touched.push_back(v);
@@ -106,25 +128,30 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
         slot += static_cast<float>(static_cast<double>(prob) * factor);
       }
     }
-    // Materialise the level: prune, sort, and roll the parent records.
-    auto& level_entries = tree.levels_[static_cast<size_t>(level + 1)];
+    // Materialise the level: prune, sort, pack, and roll the parent records.
+    level_entries.clear();
     level_entries.reserve(touched.size());
     for (NodeId v : touched) {
-      float& slot = cell(level + 1, v);
+      float& slot = cur[static_cast<size_t>(v)];
       if (slot > prune_threshold) {
         level_entries.push_back({v, slot});
         next_parent_of[static_cast<size_t>(v)] =
             first_parent[static_cast<size_t>(v)];
-      } else {
-        slot = 0.0f;
       }
+      slot = 0.0f;
       first_parent[static_cast<size_t>(v)] = -1;
     }
     std::sort(level_entries.begin(), level_entries.end(),
               [](const auto& a, const auto& b) { return a.node < b.node; });
+    tree.AppendLevel(level_entries);
     parent_of.swap(next_parent_of);
-    frontier = level_entries;
+    frontier.swap(level_entries);
   }
+  // A frontier that dies early still owes the tree its l_max + 1 levels
+  // (trailing empties), preserving the dense representation's shape.
+  while (tree.max_level() < l_max) tree.AppendLevel({});
+  tree.entries_.shrink_to_fit();
+  tree.level_bits_.shrink_to_fit();
   return tree;
 }
 

@@ -2,6 +2,7 @@
 #define CRASHSIM_CORE_REV_REACH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/query_context.h"
@@ -32,9 +33,12 @@ namespace crashsim {
 enum class RevReachMode { kPaper, kCorrected };
 
 // The truncated reverse-reachable tree of a source u: U(level, v) for
-// level in [0, l_max]. Dense per-level lookup plus sorted sparse entry lists
-// (the sparse form drives CrashSim-T's tree-equality test and the pruning
-// rules' affected-area bookkeeping).
+// level in [0, l_max], stored sparsely in CSR form — one flat Entry array
+// sorted by (level, node) plus per-level offsets — so a tree's footprint is
+// O(EntryCount()), not O(l_max * n). Probability() is a branchless binary
+// search over the level's slice, short-circuited by a per-level bitset on
+// levels dense enough to amortise one (most walk steps miss the tree, and
+// the bitset answers a miss in one load). See DESIGN.md §3a.
 class ReverseReachableTree {
  public:
   struct Entry {
@@ -46,21 +50,58 @@ class ReverseReachableTree {
   ReverseReachableTree() = default;
 
   NodeId num_nodes() const { return n_; }
-  int max_level() const { return static_cast<int>(levels_.size()) - 1; }
+  int max_level() const { return num_levels() - 1; }
   NodeId source() const { return source_; }
 
-  // U(level, v); zero outside the stored range.
+  // U(level, v); zero outside the stored range. O(log |level|) worst case,
+  // O(1) for misses on bitset-backed levels.
   double Probability(int level, NodeId v) const {
     if (level < 0 || level > max_level()) return 0.0;
-    return dense_[static_cast<size_t>(level) * static_cast<size_t>(n_) +
-                  static_cast<size_t>(v)];
+    const size_t l = static_cast<size_t>(level);
+    const int64_t bits = bits_offset_[l];
+    if (bits >= 0 &&
+        !((level_bits_[static_cast<size_t>(bits) +
+                       (static_cast<size_t>(v) >> 6)] >>
+           (static_cast<uint64_t>(v) & 63)) &
+          1)) {
+      return 0.0;
+    }
+    // Branchless binary search over the sorted level slice.
+    const Entry* base = entries_.data() + level_offsets_[l];
+    size_t len =
+        static_cast<size_t>(level_offsets_[l + 1] - level_offsets_[l]);
+    if (len == 0) return 0.0;
+    while (len > 1) {
+      const size_t half = len / 2;
+      base += (base[half - 1].node < v) ? half : 0;
+      len -= half;
+    }
+    return base->node == v ? base->prob : 0.0;
   }
 
-  // Sparse non-zero entries of each level, sorted by node id.
-  const std::vector<std::vector<Entry>>& levels() const { return levels_; }
+  // Sparse non-zero entries of one level, sorted by node id.
+  std::span<const Entry> Level(int level) const {
+    if (level < 0 || level > max_level()) return {};
+    const size_t l = static_cast<size_t>(level);
+    return {entries_.data() + level_offsets_[l],
+            static_cast<size_t>(level_offsets_[l + 1] - level_offsets_[l])};
+  }
+
+  // Number of stored levels (max_level() + 1); 0 for a default-constructed
+  // tree.
+  int num_levels() const {
+    return level_offsets_.empty()
+               ? 0
+               : static_cast<int>(level_offsets_.size()) - 1;
+  }
 
   // Total non-zero (level, node) cells.
-  int64_t EntryCount() const;
+  int64_t EntryCount() const { return static_cast<int64_t>(entries_.size()); }
+
+  // Heap bytes held by this tree (entries + offsets + bitsets). The bench
+  // harness reports it; the memory-shape regression test pins it to
+  // O(EntryCount()), not O(l_max * n).
+  int64_t MemoryBytes() const;
 
   // Sorted unique nodes appearing at any level (the tree's support) —
   // "the altered nodes in the reverse reachable tree" of Theorem 2 are
@@ -78,16 +119,27 @@ class ReverseReachableTree {
                                                       RevReachMode, double,
                                                       const QueryContext*);
 
+  // Appends one materialised level (entries sorted by node) and, when the
+  // level is dense enough that n/64 bitset words cost less than a few bytes
+  // per entry, its membership bitset.
+  void AppendLevel(std::span<const Entry> level);
+
   NodeId n_ = 0;
   NodeId source_ = -1;
-  std::vector<float> dense_;  // (max_level + 1) * n
-  std::vector<std::vector<Entry>> levels_;
+  std::vector<Entry> entries_;          // CSR payload, sorted by (level, node)
+  std::vector<int64_t> level_offsets_;  // size num_levels() + 1
+  // Per-level fast-reject bitsets, concatenated. bits_offset_[l] is the
+  // word offset of level l's n-bit set inside level_bits_, or -1 when the
+  // level is sparse enough that binary search alone is the better trade.
+  std::vector<uint64_t> level_bits_;
+  std::vector<int64_t> bits_offset_;
 };
 
 // Builds the tree: l_max + 1 levels, level 0 = {u: 1}. Entries whose
 // probability falls below prune_threshold are dropped (0 keeps everything
 // non-zero; CrashSim uses a tiny epsilon-scaled default to bound work).
-// Worst case O(l_max * m), matching the paper's O(m)-per-level claim.
+// Worst case O(l_max * m) time, matching the paper's O(m)-per-level claim;
+// peak memory is O(n) scratch plus the packed output.
 // CHECK-fails on an out-of-range source (programmer error on this path).
 ReverseReachableTree BuildRevReach(const Graph& g, NodeId u, int l_max,
                                    double c, RevReachMode mode,

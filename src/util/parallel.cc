@@ -1,0 +1,155 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crashsim {
+namespace {
+
+// In-flight state of one ParallelFor call: the pool signals `done` once all
+// shards handed to it have finished, and the first exception (by completion
+// order, caller shard included) is stashed for rethrow on the calling thread.
+struct ForState {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable done;
+  int pending = 0;
+  std::exception_ptr first_error;
+
+  void RecordError(std::exception_ptr e) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!first_error) first_error = std::move(e);
+  }
+};
+
+// A contiguous shard of one ParallelFor range, queued for a pool worker.
+struct Shard {
+  ForState* state;
+  int64_t begin;
+  int64_t end;
+};
+
+// True on threads owned by the pool: a nested ParallelFor on a worker runs
+// inline instead of queueing (queueing could deadlock once every worker
+// waits on shards only other workers could drain).
+thread_local bool t_is_pool_worker = false;
+
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* const pool = new ThreadPool();  // leaked: workers may
+    return *pool;  // outlive static destruction order, so never torn down
+  }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  void Submit(std::vector<Shard> shards) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (Shard& s : shards) queue_.push_back(s);
+    }
+    if (shards.size() > 1) {
+      work_ready_.notify_all();
+    } else {
+      work_ready_.notify_one();
+    }
+  }
+
+ private:
+  ThreadPool() {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const int count = std::max(1, static_cast<int>(hw) - 1);
+    workers_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    t_is_pool_worker = true;
+    for (;;) {
+      Shard shard;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_ready_.wait(lock, [this] { return !queue_.empty(); });
+        shard = queue_.front();
+        queue_.pop_front();
+      }
+      try {
+        (*shard.state->fn)(shard.begin, shard.end);
+      } catch (...) {
+        shard.state->RecordError(std::current_exception());
+      }
+      const std::lock_guard<std::mutex> lock(shard.state->mu);
+      if (--shard.state->pending == 0) shard.state->done.notify_one();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Shard> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int ParallelWorkerCount() { return ThreadPool::Instance().num_workers(); }
+
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk, int max_threads) {
+  if (n <= 0) return;
+  // Thread budget: the explicit cap when given (honoured even beyond core
+  // count — an explicit request to oversubscribe is the caller's call),
+  // otherwise hardware concurrency; never more than one thread per min_chunk
+  // of work, and never more than caller + pool.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  int64_t budget = max_threads > 0 ? max_threads : static_cast<int64_t>(hw);
+  budget = std::min(budget, (n + min_chunk - 1) / min_chunk);
+  if (budget <= 1 || t_is_pool_worker) {
+    fn(0, n);  // inline path never touches (or spawns) the pool
+    return;
+  }
+  budget = std::min(
+      budget, static_cast<int64_t>(ThreadPool::Instance().num_workers()) + 1);
+  if (budget <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  const int64_t num_shards = budget;
+  const int64_t chunk = (n + num_shards - 1) / num_shards;
+  ForState state;
+  state.fn = &fn;
+
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<size_t>(num_shards - 1));
+  for (int64_t t = 1; t < num_shards; ++t) {
+    const int64_t begin = t * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    shards.push_back({&state, begin, end});
+  }
+  state.pending = static_cast<int>(shards.size());
+  if (!shards.empty()) ThreadPool::Instance().Submit(std::move(shards));
+
+  // The caller is thread 0: it runs the first chunk itself, so max_threads
+  // counts it, and an all-idle pool still makes progress.
+  try {
+    fn(0, std::min(n, chunk));
+  } catch (...) {
+    state.RecordError(std::current_exception());
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done.wait(lock, [&state] { return state.pending == 0; });
+  }
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+}  // namespace crashsim

@@ -1,57 +1,41 @@
 #ifndef CRASHSIM_UTIL_PARALLEL_H_
 #define CRASHSIM_UTIL_PARALLEL_H_
 
-#include <algorithm>
 #include <cstdint>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 namespace crashsim {
 
-// Runs fn(begin, end) over [0, n) split into contiguous chunks across up to
-// hardware_concurrency() threads. Falls back to a single inline call for
-// small n. fn must be safe to run concurrently on disjoint ranges.
+// Number of worker threads in the shared pool (excluding callers). At least
+// one, so an explicit thread request > 1 is honoured even on a single-core
+// host; otherwise hardware_concurrency() - 1 (callers contribute their own
+// thread).
+int ParallelWorkerCount();
+
+// Runs fn(begin, end) over [0, n) split into contiguous chunks. Work is
+// executed on a persistent shared thread pool (spawned lazily on first use
+// and reused for the whole process lifetime — no per-call std::thread churn)
+// plus the calling thread, which always executes the first chunk itself.
 //
-// Exception safety: an exception thrown by fn on any worker is captured,
-// every thread is still joined, and the first captured exception (by
-// completion order) is rethrown on the calling thread. Work already running
-// on other threads is not interrupted; results of a throwing run must be
-// discarded by the caller.
-inline void ParallelFor(int64_t n,
-                        const std::function<void(int64_t, int64_t)>& fn,
-                        int64_t min_chunk = 1024) {
-  if (n <= 0) return;
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const int64_t max_threads = std::max<int64_t>(1, (n + min_chunk - 1) / min_chunk);
-  const int64_t num_threads = std::min<int64_t>(hw, max_threads);
-  if (num_threads == 1) {
-    fn(0, n);
-    return;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_threads));
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  const int64_t chunk = (n + num_threads - 1) / num_threads;
-  for (int64_t t = 0; t < num_threads; ++t) {
-    const int64_t begin = t * chunk;
-    const int64_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&fn, &first_error, &error_mutex, begin, end] {
-      try {
-        fn(begin, end);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
-  if (first_error) std::rethrow_exception(first_error);
-}
+// max_threads caps the number of threads that touch the range, *including*
+// the caller: max_threads = 2 means the caller plus at most one pool worker.
+// 0 (the default) means "up to hardware concurrency". The range is split
+// into exactly as many contiguous chunks as threads used, so the cap bounds
+// both concurrency and the number of fn invocations; results of a
+// deterministic fn depend only on the chunk boundaries, i.e. on
+// (n, min_chunk, max_threads), never on scheduling.
+//
+// Falls back to a single inline call when n <= min_chunk would leave other
+// threads idle, and when called from inside a pool worker (nested
+// ParallelFor never deadlocks; the inner loop just runs inline).
+//
+// Exception safety: an exception thrown by fn on any thread is captured,
+// every chunk still completes or unwinds, and the first captured exception
+// (by completion order) is rethrown on the calling thread. Work already
+// running on other threads is not interrupted; results of a throwing run
+// must be discarded by the caller.
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk = 1024, int max_threads = 0);
 
 }  // namespace crashsim
 

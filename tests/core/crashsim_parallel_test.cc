@@ -39,6 +39,29 @@ TEST(CrashSimParallelTest, IndependentOfThreadCount) {
   EXPECT_EQ(two.SingleSource(7), eight.SingleSource(7));
 }
 
+TEST(CrashSimParallelTest, ThreadCountSweepIsBitIdenticalBothPaths) {
+  // num_threads is a worker cap, not part of the random stream: the legacy
+  // parallel path and the ctx-aware path must both return bit-identical
+  // scores across num_threads in {2, 8} (and the ctx path also at 1, whose
+  // per-candidate streams make sequential == parallel).
+  Rng rng(13);
+  const Graph g = ErdosRenyi(110, 440, false, &rng);
+  std::vector<std::vector<double>> legacy;
+  std::vector<std::vector<double>> anytime;
+  for (int threads : {1, 2, 8}) {
+    CrashSim algo(Options(threads, 1500, 77));
+    algo.Bind(&g);
+    if (threads > 1) legacy.push_back(algo.SingleSource(4));
+    const PartialResult r = algo.SingleSource(4, nullptr);
+    ASSERT_TRUE(r.complete());
+    anytime.push_back(r.scores);
+  }
+  ASSERT_EQ(legacy.size(), 2u);
+  EXPECT_EQ(legacy[0], legacy[1]);
+  EXPECT_EQ(anytime[0], anytime[1]);
+  EXPECT_EQ(anytime[0], anytime[2]);
+}
+
 TEST(CrashSimParallelTest, MatchesSequentialStatistically) {
   const Graph g = PaperExampleGraph();
   const SimRankMatrix truth = PowerMethodAllPairs(g, 0.6, 55);

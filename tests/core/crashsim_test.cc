@@ -164,6 +164,48 @@ TEST(CrashSimTest, CorrectedModeOnRandomGraph) {
   }
 }
 
+TEST(CrashSimTest, DeepestTreeLevelContributesToScores) {
+  // Depth off-by-one regression: the tree stores levels 0..l_max, and a
+  // candidate walk of l_max + 1 nodes (l_max steps) is needed for level
+  // l_max to ever be scored. Two disjoint chains of length l_max meeting at
+  // a common tail node z make level l_max the *only* possible meeting
+  // level, so a non-zero score proves the deepest level contributes (the
+  // pre-fix walks, capped at l_max nodes, scored exactly 0 here).
+  const int l_max = 5;
+  const NodeId u = 0, v = 5, z = 10;
+  const Graph g = BuildGraph(11, {{1, 0},
+                                  {2, 1},
+                                  {3, 2},
+                                  {4, 3},
+                                  {10, 4},   // source chain: 0<-1<-2<-3<-4<-z
+                                  {6, 5},
+                                  {7, 6},
+                                  {8, 7},
+                                  {9, 8},
+                                  {10, 9}});  // candidate chain: 5<-...<-z
+  CrashSimOptions opt;
+  opt.mc.c = 0.25;
+  opt.mc.trials_override = 5000;
+  opt.mc.seed = 12;
+  opt.lmax_override = l_max;
+  CrashSim algo(opt);
+  algo.Bind(&g);
+  const auto tree = algo.BuildTree(u);
+  ASSERT_EQ(tree.max_level(), l_max);
+  ASSERT_GT(tree.Probability(l_max, z), 0.0);      // z sits at the deepest level
+  for (int level = 0; level < l_max; ++level) {    // ... and nowhere shallower
+    for (NodeId w : {NodeId{6}, NodeId{7}, NodeId{8}, NodeId{9}, z}) {
+      ASSERT_EQ(tree.Probability(level, w), 0.0);
+    }
+  }
+  const auto scores = algo.Partial(u, std::vector<NodeId>{v});
+  EXPECT_GT(scores[0], 0.0);
+  // The ctx-aware path shares the fix.
+  const PartialResult anytime = algo.Partial(u, std::vector<NodeId>{v}, nullptr);
+  ASSERT_TRUE(anytime.complete());
+  EXPECT_GT(anytime.scores[0], 0.0);
+}
+
 TEST(CrashSimTest, SourceWithEmptyTreeGivesZeros) {
   const Graph g = BuildGraph(3, {{0, 1}, {0, 2}});
   CrashSim algo(FastOptions(200));

@@ -53,6 +53,27 @@ TEST(MultiSourceTest, MatchesGroundTruthInCorrectedMode) {
   }
 }
 
+TEST(MultiSourceTest, NumThreadsIsBitIdenticalToSequential) {
+  // Candidate columns are disjoint and every candidate draws from its own
+  // content-derived stream, so the parallel pass must reproduce the
+  // sequential result exactly at any thread count.
+  Rng rng(6);
+  const Graph g = ErdosRenyi(90, 360, false, &rng);
+  const std::vector<NodeId> sources{2, 11, 40};
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) candidates.push_back(v);
+  std::vector<std::vector<std::vector<double>>> results;
+  for (int threads : {1, 2, 8}) {
+    CrashSimOptions opt = Options(800, 9);
+    opt.num_threads = threads;
+    CrashSimMultiSource batch(opt);
+    batch.Bind(&g);
+    results.push_back(batch.Compute(sources, candidates));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
 TEST(MultiSourceTest, IndependentOfBatchComposition) {
   // Candidate streams are content-derived, so adding more sources (or
   // candidates) must not change the score of an existing (source,

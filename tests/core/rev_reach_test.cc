@@ -22,7 +22,7 @@ TEST(RevReachPaperModeTest, ReproducesExample2Level1) {
   EXPECT_DOUBLE_EQ(tree.Probability(0, A), 1.0);
   EXPECT_NEAR(tree.Probability(1, B), 0.25, 1e-6);
   EXPECT_NEAR(tree.Probability(1, C), 0.5 / 3.0, 1e-6);
-  EXPECT_EQ(tree.levels()[1].size(), 2u);
+  EXPECT_EQ(tree.Level(1).size(), 2u);
 }
 
 TEST(RevReachPaperModeTest, ReproducesExample2Level2) {
@@ -32,7 +32,7 @@ TEST(RevReachPaperModeTest, ReproducesExample2Level2) {
   EXPECT_NEAR(tree.Probability(2, E), 0.0625, 1e-4);
   EXPECT_NEAR(tree.Probability(2, B), 0.0417, 1e-4);
   EXPECT_NEAR(tree.Probability(2, D), 0.0417, 1e-4);
-  EXPECT_EQ(tree.levels()[2].size(), 3u);
+  EXPECT_EQ(tree.Level(2).size(), 3u);
 }
 
 TEST(RevReachPaperModeTest, ReproducesExample2Level3) {
@@ -43,7 +43,7 @@ TEST(RevReachPaperModeTest, ReproducesExample2Level3) {
   EXPECT_NEAR(tree.Probability(3, A), 0.0104, 1e-4);
   EXPECT_NEAR(tree.Probability(3, E), 0.0104, 1e-4);
   EXPECT_NEAR(tree.Probability(3, B), 0.0104, 1e-4);
-  EXPECT_EQ(tree.levels()[3].size(), 4u);
+  EXPECT_EQ(tree.Level(3).size(), 4u);
 }
 
 TEST(RevReachPaperModeTest, ReproducesExample2WalkScore) {
@@ -80,7 +80,7 @@ TEST(RevReachCorrectedModeTest, LevelsAreTrueWalkMarginals) {
   const auto tree = BuildRevReach(g, 0, 8, c, RevReachMode::kCorrected);
   for (int level = 0; level <= 8; ++level) {
     double total = 0.0;
-    for (const auto& e : tree.levels()[static_cast<size_t>(level)]) {
+    for (const auto& e : tree.Level(level)) {
       total += e.prob;
     }
     EXPECT_NEAR(total, std::pow(std::sqrt(c), level), 1e-5)
@@ -162,7 +162,7 @@ TEST(RevReachTest, PruneThresholdDropsTinyEntries) {
   const auto pruned = BuildRevReach(g, A, 6, 0.25, RevReachMode::kPaper, 0.02);
   EXPECT_LT(pruned.EntryCount(), full.EntryCount());
   // Level 1 survives (0.25 and 0.167 both above threshold).
-  EXPECT_EQ(pruned.levels()[1].size(), 2u);
+  EXPECT_EQ(pruned.Level(1).size(), 2u);
 }
 
 TEST(RevReachTest, SourceWithNoInNeighbours) {
@@ -177,6 +177,155 @@ TEST(RevReachTest, LMaxZeroKeepsOnlySource) {
   const auto tree = BuildRevReach(g, A, 0, 0.25, RevReachMode::kPaper);
   EXPECT_EQ(tree.max_level(), 0);
   EXPECT_EQ(tree.EntryCount(), 1);
+}
+
+TEST(RevReachSparseTest, LevelSpansPartitionEntriesSorted) {
+  Rng rng(5);
+  const Graph g = BarabasiAlbert(500, 3, false, &rng);
+  const auto tree = BuildRevReach(g, 7, 12, 0.6, RevReachMode::kCorrected);
+  int64_t total = 0;
+  for (int level = 0; level <= tree.max_level(); ++level) {
+    const auto span = tree.Level(level);
+    total += static_cast<int64_t>(span.size());
+    for (size_t i = 0; i + 1 < span.size(); ++i) {
+      EXPECT_LT(span[i].node, span[i + 1].node) << "level " << level;
+    }
+    // Every packed entry is served back verbatim by the lookup path.
+    for (const auto& e : span) {
+      EXPECT_EQ(tree.Probability(level, e.node), e.prob);
+    }
+  }
+  EXPECT_EQ(total, tree.EntryCount());
+  EXPECT_TRUE(tree.Level(-1).empty());
+  EXPECT_TRUE(tree.Level(tree.max_level() + 1).empty());
+}
+
+// Dense reference builder: the exact recurrence of BuildRevReach replayed
+// into an (l_max + 1) x n float matrix, same accumulation order and
+// arithmetic, so the sparse tree must match it bit for bit.
+std::vector<float> DenseReference(const Graph& g, NodeId u, int l_max,
+                                  double c, RevReachMode mode,
+                                  double prune_threshold) {
+  const double sqrt_c = std::sqrt(c);
+  const NodeId n = g.num_nodes();
+  std::vector<float> dense(static_cast<size_t>(l_max + 1) *
+                               static_cast<size_t>(n),
+                           0.0f);
+  auto cell = [&](int level, NodeId v) -> float& {
+    return dense[static_cast<size_t>(level) * static_cast<size_t>(n) +
+                 static_cast<size_t>(v)];
+  };
+  cell(0, u) = 1.0f;
+  std::vector<NodeId> first_parent(static_cast<size_t>(n), -1);
+  std::vector<NodeId> parent_of(static_cast<size_t>(n), -1);
+  std::vector<NodeId> next_parent_of(static_cast<size_t>(n), -1);
+  std::vector<NodeId> touched;
+  std::vector<ReverseReachableTree::Entry> frontier{{u, 1.0f}};
+  for (int level = 0; level < l_max && !frontier.empty(); ++level) {
+    touched.clear();
+    for (const auto& [x, prob] : frontier) {
+      const NodeId exclude = (mode == RevReachMode::kPaper)
+                                 ? parent_of[static_cast<size_t>(x)]
+                                 : -1;
+      const auto in = g.InNeighbors(x);
+      if (in.empty()) continue;
+      const double out_factor = (mode == RevReachMode::kCorrected)
+                                    ? sqrt_c / static_cast<double>(in.size())
+                                    : 0.0;
+      for (NodeId v : in) {
+        if (v == exclude) continue;
+        const double factor =
+            (mode == RevReachMode::kPaper)
+                ? sqrt_c / static_cast<double>(std::max(1, g.InDegree(v)))
+                : out_factor;
+        if (first_parent[static_cast<size_t>(v)] < 0) {
+          first_parent[static_cast<size_t>(v)] = x;
+          touched.push_back(v);
+        }
+        cell(level + 1, v) +=
+            static_cast<float>(static_cast<double>(prob) * factor);
+      }
+    }
+    std::vector<ReverseReachableTree::Entry> level_entries;
+    for (NodeId v : touched) {
+      float& slot = cell(level + 1, v);
+      if (slot > prune_threshold) {
+        level_entries.push_back({v, slot});
+        next_parent_of[static_cast<size_t>(v)] =
+            first_parent[static_cast<size_t>(v)];
+      } else {
+        slot = 0.0f;
+      }
+      first_parent[static_cast<size_t>(v)] = -1;
+    }
+    std::sort(level_entries.begin(), level_entries.end(),
+              [](const auto& a, const auto& b) { return a.node < b.node; });
+    parent_of.swap(next_parent_of);
+    frontier = std::move(level_entries);
+  }
+  return dense;
+}
+
+TEST(RevReachSparseTest, ProbabilityMatchesDenseBaselineBothModes) {
+  // Randomised graphs x both recurrences x pruned/unpruned: every (level,
+  // node) lookup must equal the dense matrix the old representation stored.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    const Graph g = ErdosRenyi(120, 600, false, &rng);
+    const int l_max = 9;
+    for (RevReachMode mode :
+         {RevReachMode::kPaper, RevReachMode::kCorrected}) {
+      for (double prune : {0.0, 1e-4}) {
+        const auto tree = BuildRevReach(g, 3, l_max, 0.6, mode, prune);
+        const auto dense = DenseReference(g, 3, l_max, 0.6, mode, prune);
+        for (int level = 0; level <= l_max; ++level) {
+          for (NodeId v = 0; v < g.num_nodes(); ++v) {
+            ASSERT_EQ(tree.Probability(level, v),
+                      dense[static_cast<size_t>(level) *
+                                static_cast<size_t>(g.num_nodes()) +
+                            static_cast<size_t>(v)])
+                << "seed " << seed << " mode "
+                << (mode == RevReachMode::kPaper ? "paper" : "corrected")
+                << " prune " << prune << " level " << level << " node " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RevReachSparseTest, MemoryScalesWithEntriesNotLevelsTimesNodes) {
+  // A deep chain inside a large graph: the reached set stays tiny, so the
+  // sparse tree must stay tiny too — the dense representation paid
+  // (l_max + 1) * n floats regardless.
+  const NodeId n = 50000;
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i + 1 < 40; ++i) edges.push_back({i + 1, i});
+  const Graph g = BuildGraph(n, edges);
+  const int l_max = 35;
+  const auto tree = BuildRevReach(g, 0, l_max, 0.6, RevReachMode::kCorrected);
+  ASSERT_GT(tree.EntryCount(), l_max);  // the chain is actually reached
+  const int64_t dense_bytes =
+      static_cast<int64_t>(l_max + 1) * n * static_cast<int64_t>(sizeof(float));
+  // Storage is a small constant per entry plus O(l_max) offsets — orders of
+  // magnitude below the dense matrix, and far below even a 10x reduction.
+  EXPECT_LT(tree.MemoryBytes(), dense_bytes / 100);
+  EXPECT_LT(tree.MemoryBytes(),
+            64 * tree.EntryCount() + 64 * (l_max + 2) + 1024);
+}
+
+TEST(RevReachSparseTest, BitsetLevelsStillAnswerMissesExactly) {
+  // A dense level (star hub reaches every leaf at level 1) takes the bitset
+  // fast-reject path; spot-check hits and misses against Level().
+  const Graph g = StarGraph(400, /*undirected=*/true);
+  const auto tree = BuildRevReach(g, 0, 3, 0.6, RevReachMode::kCorrected);
+  const auto level1 = tree.Level(1);
+  ASSERT_EQ(level1.size(), 399u);  // all leaves
+  for (NodeId v = 1; v < 400; ++v) EXPECT_GT(tree.Probability(1, v), 0.0);
+  EXPECT_EQ(tree.Probability(1, 0), 0.0);  // hub absent at level 1
+  // Level 2 holds only the hub: every leaf is a bitset/binary-search miss.
+  for (NodeId v = 1; v < 400; ++v) EXPECT_EQ(tree.Probability(2, v), 0.0);
+  EXPECT_GT(tree.Probability(2, 0), 0.0);
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -89,6 +93,78 @@ TEST(ParallelForTest, FirstExceptionWinsWhenSeveralWorkersThrow) {
                    },
                    /*min_chunk=*/64),
                std::runtime_error);
+}
+
+TEST(ParallelForTest, MaxThreadsBoundsWorkerCount) {
+  // max_threads = 2 must mean at most two threads touch the range — the
+  // caller plus one pool worker — no matter how large the range is.
+  const int64_t kN = 100000;
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  ParallelFor(
+      kN,
+      [&](int64_t, int64_t) {
+        const std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      },
+      /*min_chunk=*/64, /*max_threads=*/2);
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(ids.count(std::this_thread::get_id()));
+}
+
+TEST(ParallelForTest, MaxThreadsOneRunsInlineOnCaller) {
+  std::set<std::thread::id> ids;
+  int calls = 0;
+  ParallelFor(
+      100000,
+      [&](int64_t begin, int64_t end) {
+        ++calls;
+        EXPECT_EQ(begin, 0);
+        EXPECT_EQ(end, 100000);
+        ids.insert(std::this_thread::get_id());
+      },
+      /*min_chunk=*/64, /*max_threads=*/1);
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_TRUE(ids.count(std::this_thread::get_id()));
+}
+
+TEST(ParallelForTest, PoolThreadsAreReusedAcrossCalls) {
+  // Regression for the per-call std::thread churn: across many invocations
+  // the set of distinct worker ids stays bounded by the persistent pool
+  // (caller + ParallelWorkerCount()), where fresh-thread spawning would have
+  // produced one new id per call.
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int rep = 0; rep < 50; ++rep) {
+    ParallelFor(
+        10000,
+        [&](int64_t, int64_t) {
+          const std::lock_guard<std::mutex> lock(mu);
+          ids.insert(std::this_thread::get_id());
+        },
+        /*min_chunk=*/64, /*max_threads=*/4);
+  }
+  EXPECT_LE(ids.size(), static_cast<size_t>(ParallelWorkerCount()) + 1);
+}
+
+TEST(ParallelForTest, ChunkBoundariesDependOnlyOnParameters) {
+  // Determinism contract: the decomposition is a pure function of
+  // (n, min_chunk, max_threads), so two identical calls see identical
+  // chunk boundaries regardless of scheduling.
+  auto boundaries = [](int64_t n, int64_t min_chunk, int max_threads) {
+    std::mutex mu;
+    std::set<std::pair<int64_t, int64_t>> out;
+    ParallelFor(
+        n,
+        [&](int64_t begin, int64_t end) {
+          const std::lock_guard<std::mutex> lock(mu);
+          out.insert({begin, end});
+        },
+        min_chunk, max_threads);
+    return out;
+  };
+  EXPECT_EQ(boundaries(5000, 64, 2), boundaries(5000, 64, 2));
 }
 
 TEST(ParallelForTest, ParallelSumMatchesSequential) {

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Runs the benchmark harness and collects machine-readable results as
+# BENCH_*.json so the perf trajectory of the repo is tracked over time, not
+# asserted once.
+#
+#   tools/run_benchmarks.sh [--smoke] [--build-dir DIR] [--out-dir DIR]
+#
+#   --smoke      run a fast subset of bench_micro with a tiny measurement
+#                budget — seconds, not minutes; used as a ctest so CI keeps
+#                the --json path exercised and the schema stable.
+#   --build-dir  build tree containing bench/bench_micro (default: build)
+#   --out-dir    where BENCH_*.json lands (default: the build dir)
+#
+# Full mode runs all bench_micro benchmarks plus the table-producing harness
+# binaries (bench_scaling etc.) with their default settings.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+OUT_DIR=""
+SMOKE=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1; shift ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 1 ;;
+  esac
+done
+OUT_DIR="${OUT_DIR:-${BUILD_DIR}}"
+
+BENCH_MICRO="${BUILD_DIR}/bench/bench_micro"
+if [[ ! -x "${BENCH_MICRO}" ]]; then
+  echo "bench_micro not found at ${BENCH_MICRO}; build the tree first" >&2
+  exit 1
+fi
+mkdir -p "${OUT_DIR}"
+
+if [[ "${SMOKE}" -eq 1 ]]; then
+  # Small-graph subset, minimal measurement time: validates the --json
+  # schema end to end without a real measurement budget.
+  OUT="${OUT_DIR}/BENCH_micro_smoke.json"
+  "${BENCH_MICRO}" \
+    --benchmark_filter='(BM_BuildRevReach(Paper|Corrected)|BM_TreeProbability(Hit|Miss))/1000$' \
+    --benchmark_min_time=0.01 \
+    --json "${OUT}"
+  # The smoke run doubles as a schema check: every record must carry the
+  # stable keys tools and CI consume.
+  for key in bench n m ns_per_op tree_bytes; do
+    if ! grep -q "\"${key}\"" "${OUT}"; then
+      echo "schema check failed: key '${key}' missing from ${OUT}" >&2
+      exit 1
+    fi
+  done
+  echo "smoke OK: $(grep -c '"bench"' "${OUT}") records in ${OUT}"
+  exit 0
+fi
+
+"${BENCH_MICRO}" --json "${OUT_DIR}/BENCH_micro.json"
+
+for b in bench_scaling bench_table2_example; do
+  BIN="${BUILD_DIR}/bench/${b}"
+  if [[ -x "${BIN}" ]]; then
+    "${BIN}" --csv "${OUT_DIR}/BENCH_${b#bench_}.csv" || true
+  fi
+done
+echo "results in ${OUT_DIR}/BENCH_*.json and BENCH_*.csv"
