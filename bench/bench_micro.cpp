@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "core/crashsim.h"
+#include "core/query_context.h"
+#include "core/query_stats.h"
 #include "core/rev_reach.h"
 #include "datasets/datasets.h"
 #include "graph/generators.h"
@@ -30,6 +32,7 @@
 #include "simrank/sling.h"
 #include "simrank/walk.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace crashsim {
 namespace {
@@ -288,6 +291,41 @@ double CounterOrZero(const benchmark::UserCounters& counters,
   return it == counters.end() ? 0.0 : static_cast<double>(it->second);
 }
 
+// One instrumented CrashSim query whose crashsim.query_stats.v1 blob rides
+// along with every --json export, so a perf trajectory can correlate ns/op
+// with the trial/tree/hit counts that produced it. Returned as a complete
+// array element; the only schema change versus the plain records is the
+// additive "query_stats" key.
+std::string QueryStatsProbeRecord() {
+  const Graph& g = FixtureGraph(1000);
+  CrashSimOptions opt;
+  opt.mc.trials_override = 200;
+  CrashSim algo(opt);
+  algo.Bind(&g);
+  QueryContext ctx;
+  QueryStats qs;
+  ctx.set_stats(&qs);
+  const Stopwatch timer;
+  const PartialResult result = algo.SingleSource(1, &ctx);
+  benchmark::DoNotOptimize(result.trials_done);
+  QueryStatsEnvelope env;
+  env.query = "bench";
+  env.algo = "crashsim";
+  env.n = static_cast<int64_t>(g.num_nodes());
+  env.m = g.num_edges();
+  env.elapsed_seconds = timer.ElapsedSeconds();
+  std::string out = "{\"bench\": \"QueryStatsProbe\", \"n\": ";
+  out += std::to_string(env.n);
+  out += ", \"m\": ";
+  out += std::to_string(env.m);
+  out += ", \"ns_per_op\": 0, \"tree_bytes\": ";
+  out += std::to_string(qs.tree_bytes);
+  out += ", \"query_stats\": ";
+  out += QueryStatsJson(env, qs);
+  out += "}";
+  return out;
+}
+
 // Stable schema consumed by tools/run_benchmarks.sh: a JSON array of
 // {bench, n, m, ns_per_op, tree_bytes}. Additive changes only.
 bool WriteJson(const std::string& path,
@@ -317,6 +355,8 @@ bool WriteJson(const std::string& path,
         << static_cast<int64_t>(CounterOrZero(run.counters, "tree_bytes"))
         << "}";
   }
+  if (!first) out << ",\n";
+  out << "  " << QueryStatsProbeRecord();
   out << "\n]\n";
   return static_cast<bool>(out);
 }

@@ -24,6 +24,20 @@ struct TemporalAnswerStats {
   int64_t pruned_by_difference = 0;
   // Snapshots where the source tree matched and pruning was attempted.
   int stable_tree_snapshots = 0;
+  // Pruning-rule effort behind the hit counts above (CrashSim-T only; the
+  // recompute-everything baselines leave them zero). Checks count the
+  // candidates each rule examined, so hits/checks is the rule's hit rate —
+  // the Properties 1-2 effectiveness evidence docs/OBSERVABILITY.md maps to
+  // the paper.
+  int64_t delta_prune_checks = 0;
+  int64_t difference_prune_checks = 0;
+  // Property 2 hits resolved by the reachability prefilter (no rebuild) vs
+  // candidate revReach trees rebuilt for the literal comparison.
+  int64_t difference_prefilter_skips = 0;
+  int64_t difference_tree_rebuilds = 0;
+  // Snapshots after the first that rebuilt vs reused the source tree.
+  int source_tree_rebuilds = 0;
+  int source_tree_reuses = 0;
 };
 
 struct TemporalAnswer {

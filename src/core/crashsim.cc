@@ -1,9 +1,11 @@
 #include "core/crashsim.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
+#include "core/query_stats.h"
 #include "simrank/walk.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -174,6 +176,11 @@ PartialResult CrashSim::Partial(NodeId u, std::span<const NodeId> candidates,
     result.status = tree.status().WithContext("revReach tree construction");
     result.trials_target = TrialsFor(graph()->num_nodes());
     result.scores.assign(candidates.size(), 0.0);
+    if (QueryStats* qs = ctx != nullptr ? ctx->stats() : nullptr;
+        qs != nullptr) {
+      qs->trials_target += result.trials_target;
+      qs->trials_truncated = true;
+    }
     return result;
   }
   return PartialWithTree(*tree, candidates, ctx);
@@ -219,24 +226,44 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
     rngs.emplace_back(mix.Next());
   }
 
+  // Observability: walk-step and crash-hit counts are gathered per
+  // candidate (disjoint slots, safe under candidate-level parallelism) and
+  // folded into the sink in index order after the loop, so the recorded
+  // counts depend only on (seed, trials run) — never on thread count.
+  QueryStats* const qs = ctx != nullptr ? ctx->stats() : nullptr;
+  std::vector<int64_t> walk_steps;
+  std::vector<int64_t> crash_hits;
+  if (qs != nullptr) {
+    walk_steps.assign(candidates.size(), 0);
+    crash_hits.assign(candidates.size(), 0);
+  }
+
   // Runs `count` trials of candidate ci, accumulating raw crash mass into
   // result.scores (normalised once the total trial count is known).
   auto run_trials = [&](size_t ci, int64_t count, std::vector<NodeId>* walk) {
     const NodeId v = candidates[ci];
     Rng& rng = rngs[ci];
     double total = 0.0;
+    int64_t steps = 0;
+    int64_t hits = 0;
     for (int64_t k = 0; k < count; ++k) {
       // l_max + 1 nodes = l_max steps, so level l_max of the tree is
       // reachable (see the depth note in the legacy path above).
       SampleSqrtCWalk(g, v, sqrt_c_, l_max + 1, &rng, walk);
+      steps += static_cast<int64_t>(walk->size()) - 1;
       for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
         const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
         const double hit = tree.Probability(i - 1, w);
         if (hit == 0.0) continue;
+        ++hits;
         total += corrected ? hit * diag_[static_cast<size_t>(w)] : hit;
       }
     }
     result.scores[ci] += total;
+    if (qs != nullptr) {
+      walk_steps[ci] += steps;
+      crash_hits[ci] += hits;
+    }
   };
 
   // Trial blocks grow 1, 2, 4, ..., 64: the first checkpoint lands after a
@@ -286,6 +313,35 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
   }
   result.epsilon_achieved = CrashSimAchievedEpsilon(
       options_.mc.c, options_.mc.delta, g.num_nodes(), LMax(), done);
+  if (qs != nullptr) {
+    qs->trials_target += n_r;
+    qs->trials_run += done;
+    if (done < n_r) qs->trials_truncated = true;
+    qs->epsilon_achieved = result.epsilon_achieved;
+    int64_t evaluated = 0;
+    for (NodeId v : candidates) {
+      if (v != u) ++evaluated;
+    }
+    qs->candidates_evaluated += evaluated;
+    // The trial-block loop keeps every candidate at the same trial count.
+    qs->walks_sampled += done * evaluated;
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      qs->walk_steps += walk_steps[ci];
+      qs->tree_hits += crash_hits[ci];
+    }
+    // Tree shape, for callers that prebuilt the tree outside a context-aware
+    // BuildRevReach (tree_builds stays untouched — no build happened here).
+    qs->tree_entries = tree.EntryCount();
+    qs->tree_bytes = tree.MemoryBytes();
+    qs->tree_levels = tree.num_levels();
+    if (ctx->has_deadline()) {
+      qs->had_deadline = true;
+      qs->deadline_slack_seconds =
+          std::chrono::duration<double>(ctx->deadline() -
+                                        std::chrono::steady_clock::now())
+              .count();
+    }
+  }
   return result;
 }
 

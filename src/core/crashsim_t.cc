@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/query_stats.h"
 #include "graph/snapshot_diff.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -99,6 +100,11 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
       fresh_tree = crashsim_.BuildTree(query.source);
       tree_stable = (*fresh_tree == prev_tree);
     }
+    if (fresh_tree.has_value()) {
+      ++answer.stats.source_tree_rebuilds;
+    } else {
+      ++answer.stats.source_tree_reuses;
+    }
     const ReverseReachableTree& tree =
         fresh_tree.has_value() ? *fresh_tree : prev_tree;
 
@@ -124,6 +130,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
       if (options_.enable_delta_pruning &&
           (e_omega == 0 ||
            e_delta < static_cast<int64_t>(omega.size()) * n_r / e_omega)) {
+        answer.stats.delta_prune_checks += static_cast<int64_t>(omega.size());
         std::vector<char> affected(static_cast<size_t>(g.num_nodes()), 0);
         for (NodeId y : delta_heads) {
           for (NodeId v : ForwardReachableWithin(g, y, l_max - 1)) {
@@ -161,11 +168,15 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
         for (size_t i = 0; i < omega.size(); ++i) {
           if (!recompute[i]) continue;
           const NodeId v = omega[i];
+          ++answer.stats.difference_prune_checks;
           bool unchanged;
+          bool via_prefilter = false;
           if (options_.difference_reachability_prefilter &&
               !maybe_changed[static_cast<size_t>(v)]) {
             unchanged = true;
+            via_prefilter = true;
           } else {
+            ++answer.stats.difference_tree_rebuilds;
             const ReverseReachableTree cur = BuildRevReach(
                 g, v, l_max, options_.crashsim.mc.c, options_.crashsim.mode,
                 options_.crashsim.tree_prune_threshold);
@@ -177,6 +188,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
           if (unchanged) {
             recompute[i] = 0;
             ++answer.stats.pruned_by_difference;
+            if (via_prefilter) ++answer.stats.difference_prefilter_skips;
           }
         }
       }
@@ -232,6 +244,27 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
   }
   CandidateFilter filter(query, tg.num_nodes());
 
+  // Observability: per-rule counters accumulate in answer.stats exactly as
+  // in the legacy path; the sink additionally receives a per-snapshot
+  // breakdown and the aggregate copy at every exit (the nested CrashSim and
+  // BuildRevReach calls record trial/tree work into the same sink).
+  QueryStats* const qs = ctx != nullptr ? ctx->stats() : nullptr;
+  auto export_stats = [&answer, qs]() {
+    if (qs == nullptr) return;
+    const TemporalAnswerStats& s = answer.stats;
+    qs->snapshots_processed += s.snapshots_processed;
+    qs->stable_tree_snapshots += s.stable_tree_snapshots;
+    qs->source_tree_rebuilds += s.source_tree_rebuilds;
+    qs->source_tree_reuses += s.source_tree_reuses;
+    qs->delta_prune_checks += s.delta_prune_checks;
+    qs->delta_prune_hits += s.pruned_by_delta;
+    qs->difference_prune_checks += s.difference_prune_checks;
+    qs->difference_prune_hits += s.pruned_by_difference;
+    qs->difference_prefilter_skips += s.difference_prefilter_skips;
+    qs->difference_tree_rebuilds += s.difference_tree_rebuilds;
+    qs->scores_computed += s.scores_computed;
+  };
+
   SnapshotCursor cursor(&tg);
   while (cursor.snapshot_index() < query.begin_snapshot) cursor.Advance();
 
@@ -248,9 +281,12 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
           StrFormat("snapshot %d", query.begin_snapshot));
       answer.nodes = filter.candidates();
       answer.stats.total_seconds = timer.ElapsedSeconds();
+      export_stats();
       return answer;
     }
     prev_tree = std::move(*tree_or);
+    const int64_t first_candidates =
+        static_cast<int64_t>(filter.candidates().size());
     PartialResult first =
         crashsim_.PartialWithTree(prev_tree, filter.candidates(), ctx);
     if (!first.complete()) {
@@ -258,12 +294,16 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
           first.status.WithContext(StrFormat("snapshot %d", query.begin_snapshot));
       answer.nodes = filter.candidates();
       answer.stats.total_seconds = timer.ElapsedSeconds();
+      export_stats();
       return answer;
     }
-    answer.stats.scores_computed +=
-        static_cast<int64_t>(filter.candidates().size());
+    answer.stats.scores_computed += first_candidates;
     filter.Observe(first.scores);
     ++answer.stats.snapshots_processed;
+    if (qs != nullptr) {
+      qs->snapshots.push_back({query.begin_snapshot, first_candidates, 0, 0,
+                               first_candidates, false});
+    }
   }
 
   Graph prev_graph = cursor.graph();
@@ -278,6 +318,10 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
         break;
       }
     }
+    // Baselines for this snapshot's per-rule deltas (per-snapshot entry
+    // appended once the snapshot completes).
+    const int64_t delta_hits_before = answer.stats.pruned_by_delta;
+    const int64_t diff_hits_before = answer.stats.pruned_by_difference;
     cursor.Advance();
     const Graph& g = cursor.graph();
     crashsim_.Bind(&g);
@@ -338,10 +382,18 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
       answer.status = snapshot_status.WithContext(StrFormat("snapshot %d", t));
       break;
     }
+    if (fresh_tree.has_value()) {
+      ++answer.stats.source_tree_rebuilds;
+    } else {
+      ++answer.stats.source_tree_reuses;
+    }
     const ReverseReachableTree& tree =
         fresh_tree.has_value() ? *fresh_tree : prev_tree;
 
     const std::vector<NodeId>& omega = filter.candidates();
+    // omega aliases the filter's live candidate set, which Observe() below
+    // shrinks — capture the examined count before that happens.
+    const int64_t omega_size_before = static_cast<int64_t>(omega.size());
     const int64_t n_r = crashsim_.TrialsFor(g.num_nodes());
 
     std::vector<char> recompute(omega.size(), 1);
@@ -355,6 +407,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
       if (options_.enable_delta_pruning &&
           (e_omega == 0 ||
            e_delta < static_cast<int64_t>(omega.size()) * n_r / e_omega)) {
+        answer.stats.delta_prune_checks += static_cast<int64_t>(omega.size());
         std::vector<char> affected(static_cast<size_t>(g.num_nodes()), 0);
         for (NodeId y : delta_heads) {
           for (NodeId v : ForwardReachableWithin(g, y, l_max - 1)) {
@@ -388,11 +441,15 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
         for (size_t i = 0; i < omega.size(); ++i) {
           if (!recompute[i]) continue;
           const NodeId v = omega[i];
+          ++answer.stats.difference_prune_checks;
           bool unchanged;
+          bool via_prefilter = false;
           if (options_.difference_reachability_prefilter &&
               !maybe_changed[static_cast<size_t>(v)]) {
             unchanged = true;
+            via_prefilter = true;
           } else {
+            ++answer.stats.difference_tree_rebuilds;
             StatusOr<ReverseReachableTree> cur_or = BuildRevReach(
                 g, v, l_max, options_.crashsim.mc.c, options_.crashsim.mode,
                 options_.crashsim.tree_prune_threshold, ctx);
@@ -413,6 +470,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
           if (unchanged) {
             recompute[i] = 0;
             ++answer.stats.pruned_by_difference;
+            if (via_prefilter) ++answer.stats.difference_prefilter_skips;
           }
         }
         if (!snapshot_status.ok()) {
@@ -444,6 +502,13 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
     }
     filter.Observe(merged);
     ++answer.stats.snapshots_processed;
+    if (qs != nullptr) {
+      qs->snapshots.push_back(
+          {t, omega_size_before,
+           answer.stats.pruned_by_delta - delta_hits_before,
+           answer.stats.pruned_by_difference - diff_hits_before,
+           static_cast<int64_t>(residual.size()), tree_stable});
+    }
 
     if (fresh_tree.has_value()) prev_tree = std::move(*fresh_tree);
     prev_graph = g;
@@ -451,6 +516,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
 
   answer.nodes = filter.candidates();
   answer.stats.total_seconds = timer.ElapsedSeconds();
+  export_stats();
   return answer;
 }
 

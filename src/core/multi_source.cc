@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "core/query_stats.h"
 #include "simrank/walk.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace crashsim {
 
@@ -18,6 +20,12 @@ void CrashSimMultiSource::Bind(const Graph* g) {
 
 std::vector<std::vector<double>> CrashSimMultiSource::Compute(
     std::span<const NodeId> sources, std::span<const NodeId> candidates) {
+  return Compute(sources, candidates, /*stats=*/nullptr);
+}
+
+std::vector<std::vector<double>> CrashSimMultiSource::Compute(
+    std::span<const NodeId> sources, std::span<const NodeId> candidates,
+    QueryStats* stats) {
   CRASHSIM_CHECK(graph_ != nullptr) << "Bind a graph first";
   const Graph& g = *graph_;
   const double sqrt_c = std::sqrt(crashsim_.options().mc.c);
@@ -27,7 +35,20 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
   // One tree per source (the only per-source cost).
   std::vector<ReverseReachableTree> trees;
   trees.reserve(sources.size());
-  for (NodeId u : sources) trees.push_back(crashsim_.BuildTree(u));
+  {
+    const Stopwatch tree_timer;
+    for (NodeId u : sources) trees.push_back(crashsim_.BuildTree(u));
+    if (stats != nullptr) {
+      stats->tree_builds += static_cast<int64_t>(trees.size());
+      stats->tree_build_seconds += tree_timer.ElapsedSeconds();
+      if (!trees.empty()) {
+        const ReverseReachableTree& last = trees.back();
+        stats->tree_entries = last.EntryCount();
+        stats->tree_bytes = last.MemoryBytes();
+        stats->tree_levels = last.num_levels();
+      }
+    }
+  }
 
   std::vector<std::vector<double>> result(
       sources.size(), std::vector<double>(candidates.size(), 0.0));
@@ -40,6 +61,16 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
   CRASHSIM_CHECK(!corrected || !diag.empty())
       << "corrected mode requires Bind() to estimate d(w)";
 
+  // Per-candidate observability slots, folded in index order after the
+  // parallel region joins — the same disjoint-slot trick that keeps the
+  // scores deterministic keeps the counters deterministic too.
+  std::vector<int64_t> walk_steps;
+  std::vector<int64_t> tree_hits;
+  if (stats != nullptr) {
+    walk_steps.assign(candidates.size(), 0);
+    tree_hits.assign(candidates.size(), 0);
+  }
+
   // Scores one candidate column: per-candidate stream (same derivation as
   // CrashSim's parallel mode, so batching does not depend on the
   // candidate-set composition) and disjoint result columns, which makes the
@@ -50,10 +81,13 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
                    static_cast<uint64_t>(static_cast<uint32_t>(v)) ^
                    0xa5a5a5a5a5a5a5a5ULL);
     Rng rng(mix.Next());
+    int64_t steps = 0;
+    int64_t hits = 0;
     for (int64_t k = 0; k < n_r; ++k) {
       // l_max + 1 nodes = l_max steps, so level l_max of every source tree
       // is reachable (same depth fix as CrashSim's trial loops).
       SampleSqrtCWalk(g, v, sqrt_c, l_max + 1, &rng, walk);
+      steps += static_cast<int64_t>(walk->size()) - 1;
       for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
         const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
         const double weight =
@@ -61,9 +95,16 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
         // Score this walk position against every source tree at once.
         for (size_t si = 0; si < trees.size(); ++si) {
           const double hit = trees[si].Probability(i - 1, w);
-          if (hit != 0.0) result[si][ci] += hit * weight;
+          if (hit != 0.0) {
+            result[si][ci] += hit * weight;
+            ++hits;
+          }
         }
       }
+    }
+    if (stats != nullptr) {
+      walk_steps[ci] = steps;
+      tree_hits[ci] = hits;
     }
   };
 
@@ -81,6 +122,18 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
     std::vector<NodeId> walk;
     for (size_t ci = 0; ci < candidates.size(); ++ci) {
       run_candidate(ci, &walk);
+    }
+  }
+
+  if (stats != nullptr) {
+    // One shared walk pass: n_r trials regardless of the source count.
+    stats->trials_target += n_r;
+    stats->trials_run += n_r;
+    stats->candidates_evaluated += static_cast<int64_t>(candidates.size());
+    stats->walks_sampled += n_r * static_cast<int64_t>(candidates.size());
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      stats->walk_steps += walk_steps[ci];
+      stats->tree_hits += tree_hits[ci];
     }
   }
 

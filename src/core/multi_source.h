@@ -9,6 +9,8 @@
 
 namespace crashsim {
 
+struct QueryStats;  // core/query_stats.h
+
 // Multi-source CrashSim: evaluates one candidate set against several sources
 // in a single pass. The observation is that Algorithm 1's per-trial work
 // factors into (a) sampling a sqrt(c)-walk from the candidate and (b) cheap
@@ -38,6 +40,17 @@ class CrashSimMultiSource {
   // 1. Trial count follows the bound graph's size exactly as CrashSim's.
   std::vector<std::vector<double>> Compute(std::span<const NodeId> sources,
                                            std::span<const NodeId> candidates);
+
+  // Same computation with an optional observability sink (nullptr is the
+  // plain overload above). Records one tree build per source, the shared
+  // walk-pass work (trials, walks, walk steps, tree hits) once — the point
+  // of batching is that the walk sample is shared across sources — and keeps
+  // the per-candidate counters deterministic across thread counts by
+  // accumulating them in disjoint slots and folding in index order after the
+  // parallel region joins.
+  std::vector<std::vector<double>> Compute(std::span<const NodeId> sources,
+                                           std::span<const NodeId> candidates,
+                                           QueryStats* stats);
 
   const CrashSimOptions& options() const { return crashsim_.options(); }
 

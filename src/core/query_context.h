@@ -11,14 +11,20 @@
 
 namespace crashsim {
 
+struct QueryStats;  // core/query_stats.h
+
 // Per-query lifecycle control: a steady-clock deadline, a cooperative
-// cancellation flag, and trial-progress counters a monitoring thread can
-// poll. Passed by pointer into the estimator entry points; nullptr means
-// "no deadline, not cancellable" and costs nothing.
+// cancellation flag, trial-progress counters a monitoring thread can poll,
+// and an optional QueryStats sink the engine fills as it works. Passed by
+// pointer into the estimator entry points; nullptr means "no deadline, not
+// cancellable, no stats" and costs nothing.
 //
 // Thread safety: Cancel()/cancelled() and the progress counters are atomic
 // and may be called from any thread while a query runs. The deadline is
-// immutable after construction.
+// immutable after construction. The stats sink is NOT synchronised: set it
+// before the query starts and read it after the query returns — the engine
+// only writes to it from the querying thread (after parallel regions join),
+// which is what keeps its counters deterministic across thread counts.
 class QueryContext {
  public:
   // No deadline; can still be cancelled. The atomic members make the type
@@ -62,12 +68,18 @@ class QueryContext {
     return trials_target_.load(std::memory_order_relaxed);
   }
 
+  // Optional per-query observability sink (core/query_stats.h), borrowed —
+  // it must outlive the query. nullptr (the default) records nothing.
+  void set_stats(QueryStats* stats) { stats_ = stats; }
+  QueryStats* stats() const { return stats_; }
+
  private:
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> trials_done_{0};
   std::atomic<int64_t> trials_target_{0};
+  QueryStats* stats_ = nullptr;
 };
 
 // An anytime single-source / partial SimRank answer. When the query ran to

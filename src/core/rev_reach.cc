@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/query_stats.h"
 #include "simrank/simrank.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace crashsim {
 
@@ -70,6 +72,7 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
                                              const QueryContext* ctx) {
   RETURN_IF_ERROR(ValidateNodeId(u, g.num_nodes(), "source"));
   CRASHSIM_CHECK_GE(l_max, 0);
+  const Stopwatch build_timer;
   const double sqrt_c = std::sqrt(c);
   const NodeId n = g.num_nodes();
 
@@ -152,6 +155,17 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
   while (tree.max_level() < l_max) tree.AppendLevel({});
   tree.entries_.shrink_to_fit();
   tree.level_bits_.shrink_to_fit();
+  // Observability: every context-aware build reports into the query's stats
+  // sink (tree_entries/bytes/levels keep the most recent build; builds and
+  // build time accumulate — see query_stats.h).
+  if (ctx != nullptr && ctx->stats() != nullptr) {
+    QueryStats& qs = *ctx->stats();
+    ++qs.tree_builds;
+    qs.tree_build_seconds += build_timer.ElapsedSeconds();
+    qs.tree_entries = tree.EntryCount();
+    qs.tree_bytes = tree.MemoryBytes();
+    qs.tree_levels = tree.num_levels();
+  }
   return tree;
 }
 

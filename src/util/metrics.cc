@@ -1,0 +1,153 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crashsim {
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+FixedHistogram::FixedHistogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1) {
+  CRASHSIM_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  CRASHSIM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                 std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                     bounds_.end())
+      << "histogram bounds must be strictly ascending";
+}
+
+void FixedHistogram::Record(int64_t value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double FixedHistogram::Mean() const {
+  const int64_t n = TotalCount();
+  return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+int64_t FixedHistogram::BucketCount(int bucket) const {
+  if (bucket < 0 || bucket >= num_buckets()) return 0;
+  return counts_[static_cast<size_t>(bucket)].load(std::memory_order_relaxed);
+}
+
+std::string FixedHistogram::ToString() const {
+  std::string out;
+  for (int b = 0; b < num_buckets(); ++b) {
+    const int64_t count = BucketCount(b);
+    if (count == 0) continue;
+    if (!out.empty()) out += " ";
+    if (b < static_cast<int>(bounds_.size())) {
+      const int64_t lo = b == 0 ? 0 : bounds_[static_cast<size_t>(b - 1)];
+      out += StrFormat("(%lld..%lld]:%lld", static_cast<long long>(lo),
+                       static_cast<long long>(bounds_[static_cast<size_t>(b)]),
+                       static_cast<long long>(count));
+    } else {
+      out += StrFormat("(%lld..]:%lld",
+                       static_cast<long long>(bounds_.back()),
+                       static_cast<long long>(count));
+    }
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+std::vector<int64_t> ExponentialBuckets(int64_t start, double factor,
+                                        int count) {
+  CRASHSIM_CHECK(start > 0 && factor > 1.0 && count > 0);
+  std::vector<int64_t> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = static_cast<double>(start);
+  for (int i = 0; i < count; ++i) {
+    const int64_t b = static_cast<int64_t>(bound);
+    // Guard against factor rounding collapsing adjacent integer bounds.
+    if (bounds.empty() || b > bounds.back()) bounds.push_back(b);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& name,
+                                           std::vector<int64_t> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<FixedHistogram>(std::move(bounds));
+  return *slot;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::SnapshotCounters()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, counter->Value()});
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::SnapshotGauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back({name, gauge->Value()});
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToString() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("counter %-32s %lld\n", name.c_str(),
+                     static_cast<long long>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("gauge   %-32s %lld\n", name.c_str(),
+                     static_cast<long long>(gauge->Value()));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += StrFormat("hist    %-32s n=%lld mean=%.1f %s\n", name.c_str(),
+                     static_cast<long long>(hist->TotalCount()), hist->Mean(),
+                     hist->ToString().c_str());
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetCountersForTest() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+}
+
+}  // namespace crashsim

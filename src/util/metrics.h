@@ -1,0 +1,148 @@
+#ifndef CRASHSIM_UTIL_METRICS_H_
+#define CRASHSIM_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crashsim {
+
+// Process-wide observability primitives: monotonic counters, last-value
+// gauges, and fixed-bucket histograms, collected in a named registry.
+// Counters are sharded across cache-line-padded slots indexed by a
+// thread-local slot id, so hot-path increments never contend on one cache
+// line; reads sum the shards. Everything is lock-free after registration
+// (the registry itself takes a mutex only when a metric is first named).
+//
+// Per-query statistics do NOT live here — they are carried by QueryStats
+// (core/query_stats.h) through an explicit QueryContext sink, so callers
+// opt in without global state. The registry is for process-lifetime signals
+// (ParallelFor shard accounting, CLI query latency) that have no single
+// query to attach to.
+
+// Monotonic counter. Add() is wait-free and contention-free across threads;
+// Value() is a relaxed sum over the shards (exact once writers quiesce).
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // Threads are assigned round-robin slots on first use; 16 slots keep
+  // pool-sized writer sets (hardware threads) spread across lines.
+  static size_t ShardIndex();
+
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+// Last-written value (e.g. pool size, current capacity). Set/Value are
+// single relaxed atomics.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram for latency/size distributions. Bucket i counts
+// values <= bounds[i] (and > bounds[i-1]); one implicit overflow bucket
+// catches the rest. Bounds are fixed at registration, so Record() is a
+// binary search plus one relaxed increment — safe from any thread.
+class FixedHistogram {
+ public:
+  // `bounds` must be non-empty and strictly ascending.
+  explicit FixedHistogram(std::vector<int64_t> bounds);
+
+  void Record(int64_t value);
+
+  int64_t TotalCount() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  // Bucket count; index num_buckets() - 1 is the overflow bucket.
+  int64_t BucketCount(int bucket) const;
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+  // Renders "(..8]:3 (8..64]:1 (64..]:0" skipping empty buckets.
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<std::atomic<int64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> total_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+// Exponential bucket bounds {start, start*factor, ...} (count of them),
+// the usual shape for latencies and sizes.
+std::vector<int64_t> ExponentialBuckets(int64_t start, double factor,
+                                        int count);
+
+// Named registry. Lookup-or-create takes a mutex; the returned references
+// are stable for the registry's lifetime, so hot paths resolve a metric
+// once (function-local static reference) and then touch only the metric.
+class MetricsRegistry {
+ public:
+  // Process-wide instance (never destroyed; safe from static destructors).
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // Registers the histogram with `bounds` on first use; later calls with
+  // the same name return the existing instance (bounds ignored).
+  FixedHistogram& histogram(const std::string& name,
+                            std::vector<int64_t> bounds);
+
+  struct Sample {
+    std::string name;
+    int64_t value = 0;
+  };
+  // Name-sorted point-in-time reads.
+  std::vector<Sample> SnapshotCounters() const;
+  std::vector<Sample> SnapshotGauges() const;
+
+  // Multi-line human dump of every metric (counters, gauges, histograms).
+  std::string ToString() const;
+
+  // Zeroes all counters (gauges and histogram contents are left alone —
+  // gauges describe current state, histograms have no reset use case yet).
+  void ResetCountersForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_METRICS_H_

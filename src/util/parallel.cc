@@ -8,8 +8,35 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace crashsim {
 namespace {
+
+// Process-wide ParallelFor telemetry (util/metrics.h). Function-local static
+// references: the registry lookup happens once, the hot path only touches
+// sharded counters. "parallel.inline_calls" counts calls that ran entirely on
+// the calling thread (budget <= 1 or nested on a pool worker);
+// "parallel.shards" totals the shards handed to pool workers, so
+// shards / (for_calls - inline_calls) is the mean fan-out of the calls that
+// actually parallelised.
+Counter& ForCallsCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("parallel.for_calls");
+  return c;
+}
+Counter& InlineCallsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("parallel.inline_calls");
+  return c;
+}
+Counter& ShardsCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("parallel.shards");
+  return c;
+}
+Gauge& WorkersGauge() {
+  static Gauge& g = MetricsRegistry::Global().gauge("parallel.workers");
+  return g;
+}
 
 // In-flight state of one ParallelFor call: the pool signals `done` once all
 // shards handed to it have finished, and the first exception (by completion
@@ -68,6 +95,7 @@ class ThreadPool {
     for (int i = 0; i < count; ++i) {
       workers_.emplace_back([this] { WorkerLoop(); });
     }
+    WorkersGauge().Set(count);
   }
 
   void WorkerLoop() {
@@ -103,6 +131,7 @@ int ParallelWorkerCount() { return ThreadPool::Instance().num_workers(); }
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk, int max_threads) {
   if (n <= 0) return;
+  ForCallsCounter().Add(1);
   // Thread budget: the explicit cap when given (honoured even beyond core
   // count — an explicit request to oversubscribe is the caller's call),
   // otherwise hardware concurrency; never more than one thread per min_chunk
@@ -111,12 +140,14 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
   int64_t budget = max_threads > 0 ? max_threads : static_cast<int64_t>(hw);
   budget = std::min(budget, (n + min_chunk - 1) / min_chunk);
   if (budget <= 1 || t_is_pool_worker) {
+    InlineCallsCounter().Add(1);
     fn(0, n);  // inline path never touches (or spawns) the pool
     return;
   }
   budget = std::min(
       budget, static_cast<int64_t>(ThreadPool::Instance().num_workers()) + 1);
   if (budget <= 1) {
+    InlineCallsCounter().Add(1);
     fn(0, n);
     return;
   }
@@ -135,6 +166,9 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
     shards.push_back({&state, begin, end});
   }
   state.pending = static_cast<int>(shards.size());
+  // Caller shard + pool shards; counted before Submit so the total is stable
+  // by the time the call returns.
+  ShardsCounter().Add(static_cast<int64_t>(shards.size()) + 1);
   if (!shards.empty()) ThreadPool::Instance().Submit(std::move(shards));
 
   // The caller is thread 0: it runs the first chunk itself, so max_threads

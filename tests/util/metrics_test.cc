@@ -1,0 +1,119 @@
+#include "util/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crashsim {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Add();
+  c.Add(5);
+  EXPECT_EQ(c.Value(), 6);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(42);
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(FixedHistogramTest, BucketsByUpperBound) {
+  FixedHistogram h({8, 64, 512});
+  ASSERT_EQ(h.num_buckets(), 4);  // 3 bounds + overflow
+  h.Record(1);
+  h.Record(8);    // boundary lands in (..8]
+  h.Record(9);    // first value of (8..64]
+  h.Record(512);
+  h.Record(100000);  // overflow
+  EXPECT_EQ(h.BucketCount(0), 2);
+  EXPECT_EQ(h.BucketCount(1), 1);
+  EXPECT_EQ(h.BucketCount(2), 1);
+  EXPECT_EQ(h.BucketCount(3), 1);
+  EXPECT_EQ(h.TotalCount(), 5);
+  EXPECT_EQ(h.Sum(), 1 + 8 + 9 + 512 + 100000);
+  EXPECT_DOUBLE_EQ(h.Mean(), static_cast<double>(h.Sum()) / 5.0);
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(FixedHistogramTest, ExponentialBucketsShape) {
+  const std::vector<int64_t> bounds = ExponentialBuckets(1, 4.0, 5);
+  EXPECT_EQ(bounds, (std::vector<int64_t>{1, 4, 16, 64, 256}));
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test.counter");
+  Counter& b = registry.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3);
+
+  Gauge& g1 = registry.gauge("test.gauge");
+  Gauge& g2 = registry.gauge("test.gauge");
+  EXPECT_EQ(&g1, &g2);
+
+  FixedHistogram& h1 = registry.histogram("test.hist", {10, 100});
+  FixedHistogram& h2 = registry.histogram("test.hist", {999});
+  EXPECT_EQ(&h1, &h2);  // bounds of the first registration win
+  EXPECT_EQ(h2.bounds(), (std::vector<int64_t>{10, 100}));
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("z.last").Add(1);
+  registry.counter("a.first").Add(2);
+  registry.gauge("mid.gauge").Set(9);
+  const auto counters = registry.SnapshotCounters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "a.first");
+  EXPECT_EQ(counters[0].value, 2);
+  EXPECT_EQ(counters[1].name, "z.last");
+  EXPECT_EQ(counters[1].value, 1);
+  const auto gauges = registry.SnapshotGauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].name, "mid.gauge");
+  EXPECT_EQ(gauges[0].value, 9);
+  EXPECT_FALSE(registry.ToString().empty());
+}
+
+TEST(MetricsRegistryTest, ResetCountersForTestZeroesCountersOnly) {
+  MetricsRegistry registry;
+  registry.counter("c").Add(5);
+  registry.gauge("g").Set(5);
+  registry.ResetCountersForTest();
+  EXPECT_EQ(registry.counter("c").Value(), 0);
+  EXPECT_EQ(registry.gauge("g").Value(), 5);
+}
+
+TEST(MetricsRegistryTest, GlobalIsStableAcrossCalls) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/baseline_temporal.h"
@@ -26,6 +27,7 @@
 #include "core/crashsim_t.h"
 #include "core/durable_topk.h"
 #include "core/query_context.h"
+#include "core/query_stats.h"
 #include "datasets/datasets.h"
 #include "eval/experiment.h"
 #include "graph/analysis.h"
@@ -37,6 +39,7 @@
 #include "simrank/sling.h"
 #include "simrank/topk.h"
 #include "util/status.h"
+#include "util/timer.h"
 #include "util/top_k.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -113,6 +116,15 @@ std::unique_ptr<SimRankAlgorithm> MakeAlgorithm(const FlagSet& flags) {
 // "exact" is handled out-of-band (it is not a SimRankAlgorithm and needs the
 // n^2 guard rail of PowerMethodAllPairs).
 
+// Renders the per-query observability record the way the caller asked:
+// --stats prints the human table, --stats_json one line of the stable
+// crashsim.query_stats.v1 schema (docs/OBSERVABILITY.md). Both may be set.
+void PrintQueryStats(bool table, bool json, const QueryStatsEnvelope& env,
+                     const QueryStats& qs) {
+  if (table) std::printf("%s", qs.ToTable().c_str());
+  if (json) std::printf("%s\n", QueryStatsJson(env, qs).c_str());
+}
+
 int RunStats(int argc, char** argv) {
   FlagSet flags;
   flags.DefineString("graph", "", "edge-list file");
@@ -137,6 +149,10 @@ int RunTopK(int argc, char** argv) {
   flags.DefineInt("k", 10, "result count");
   flags.DefineIntInRange("timeout_ms", 0, 0, 86400000,
                          "query deadline in ms (0 = unbounded; crashsim only)");
+  flags.DefineBool("stats", false,
+                   "print the per-query observability table (crashsim only)");
+  flags.DefineBool("stats_json", false,
+                   "print per-query stats as one JSON line (crashsim only)");
   DefineAlgoFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
 
@@ -159,14 +175,19 @@ int RunTopK(int argc, char** argv) {
     return FailStatus(NotFoundError("source id not present in the graph"));
   }
 
-  // Deadline-bounded anytime path: run the context-aware CrashSim query,
-  // report whatever the completed trials support, and exit with the
-  // deadline/cancel code when the budget ran out.
+  // Deadline-bounded / instrumented anytime path: run the context-aware
+  // CrashSim query, report whatever the completed trials support, and exit
+  // with the deadline/cancel code when the budget ran out. --stats and
+  // --stats_json ride the same path because the observability sink lives on
+  // the QueryContext.
   const int64_t timeout_ms = flags.GetInt("timeout_ms");
-  if (timeout_ms > 0) {
+  const bool want_stats =
+      flags.GetBool("stats") || flags.GetBool("stats_json");
+  if (timeout_ms > 0 || want_stats) {
     if (flags.GetString("algo") != "crashsim") {
-      return FailStatus(
-          InvalidArgumentError("--timeout_ms requires --algo crashsim"));
+      return FailStatus(InvalidArgumentError(
+          timeout_ms > 0 ? "--timeout_ms requires --algo crashsim"
+                         : "--stats/--stats_json require --algo crashsim"));
     }
     CrashSimOptions opt;
     opt.mc.c = flags.GetDouble("c");
@@ -180,8 +201,18 @@ int RunTopK(int argc, char** argv) {
     if (Status s = opt.Validate(); !s.ok()) return FailStatus(s);
     CrashSim algo(opt);
     algo.Bind(&g);
-    QueryContext ctx{std::chrono::milliseconds(timeout_ms)};
-    const PartialResult result = algo.SingleSource(source, &ctx);
+    // QueryContext is neither copyable nor movable; emplace the right ctor.
+    std::optional<QueryContext> ctx;
+    if (timeout_ms > 0) {
+      ctx.emplace(std::chrono::milliseconds(timeout_ms));
+    } else {
+      ctx.emplace();
+    }
+    QueryStats qstats;
+    if (want_stats) ctx->set_stats(&qstats);
+    const Stopwatch query_timer;
+    const PartialResult result = algo.SingleSource(source, &*ctx);
+    const double elapsed = query_timer.ElapsedSeconds();
     if (result.scores.empty()) return FailStatus(result.status);
     TopK<NodeId> selector(static_cast<size_t>(flags.GetInt("k")));
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -200,6 +231,16 @@ int RunTopK(int argc, char** argv) {
                 static_cast<long long>(result.trials_done),
                 static_cast<long long>(result.trials_target),
                 result.epsilon_achieved);
+    if (want_stats) {
+      QueryStatsEnvelope env;
+      env.query = "topk";
+      env.algo = "crashsim";
+      env.n = static_cast<int64_t>(g.num_nodes());
+      env.m = g.num_edges();
+      env.elapsed_seconds = elapsed;
+      PrintQueryStats(flags.GetBool("stats"), flags.GetBool("stats_json"),
+                      env, qstats);
+    }
     if (!result.complete()) {
       std::fprintf(stderr, "warning: %s\n", result.status.ToString().c_str());
     }
@@ -250,6 +291,11 @@ int RunTemporal(int argc, char** argv) {
                      "crashsim-t | probesim-t | sling-t | reads-t");
   flags.DefineIntInRange("timeout_ms", 0, 0, 86400000,
                          "query deadline in ms (0 = unbounded; crashsim-t only)");
+  flags.DefineBool("stats", false,
+                   "print the per-query observability table (crashsim-t only)");
+  flags.DefineBool(
+      "stats_json", false,
+      "print per-query stats as one JSON line (crashsim-t only)");
   DefineAlgoFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
 
@@ -298,6 +344,10 @@ int RunTemporal(int argc, char** argv) {
   mc.seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
   const int64_t timeout_ms = flags.GetInt("timeout_ms");
+  const bool want_stats =
+      flags.GetBool("stats") || flags.GetBool("stats_json");
+  QueryStats qstats;
+  const Stopwatch query_timer;
   TemporalAnswer answer;
   const std::string engine = flags.GetString("engine");
   if (engine == "crashsim-t") {
@@ -307,15 +357,26 @@ int RunTemporal(int argc, char** argv) {
                                                     : RevReachMode::kCorrected;
     opt.crashsim.num_threads = static_cast<int>(flags.GetInt("threads"));
     CrashSimT e(opt);
-    if (timeout_ms > 0) {
-      QueryContext ctx{std::chrono::milliseconds(timeout_ms)};
-      answer = e.Answer(tg, query, &ctx);
+    if (timeout_ms > 0 || want_stats) {
+      // The observability sink lives on the QueryContext, so --stats routes
+      // through the context-aware path even without a deadline.
+      std::optional<QueryContext> ctx;
+      if (timeout_ms > 0) {
+        ctx.emplace(std::chrono::milliseconds(timeout_ms));
+      } else {
+        ctx.emplace();
+      }
+      if (want_stats) ctx->set_stats(&qstats);
+      answer = e.Answer(tg, query, &*ctx);
     } else {
       answer = e.Answer(tg, query);
     }
   } else if (timeout_ms > 0) {
     return FailStatus(
         InvalidArgumentError("--timeout_ms requires --engine crashsim-t"));
+  } else if (want_stats) {
+    return FailStatus(InvalidArgumentError(
+        "--stats/--stats_json require --engine crashsim-t"));
   } else if (engine == "probesim-t") {
     ProbeSim algo(mc);
     StaticRecomputeEngine e(&algo);
@@ -346,6 +407,16 @@ int RunTemporal(int argc, char** argv) {
               static_cast<long long>(answer.stats.scores_computed),
               static_cast<long long>(answer.stats.pruned_by_delta +
                                      answer.stats.pruned_by_difference));
+  if (want_stats) {
+    QueryStatsEnvelope env;
+    env.query = "temporal";
+    env.algo = "crashsim-t";
+    env.n = static_cast<int64_t>(tg.num_nodes());
+    env.m = tg.Snapshot(query.begin_snapshot).num_edges();
+    env.elapsed_seconds = query_timer.ElapsedSeconds();
+    PrintQueryStats(flags.GetBool("stats"), flags.GetBool("stats_json"), env,
+                    qstats);
+  }
   if (!answer.complete()) {
     std::fprintf(stderr,
                  "warning: interval cut short after %d snapshot(s): %s\n",

@@ -7,8 +7,11 @@
 #
 #   --smoke      run a fast subset of bench_micro with a tiny measurement
 #                budget — seconds, not minutes; used as a ctest so CI keeps
-#                the --json path exercised and the schema stable.
-#   --build-dir  build tree containing bench/bench_micro (default: build)
+#                the --json path exercised and the schema stable. Also runs
+#                an instrumented crashsim_cli query and validates the
+#                crashsim.query_stats.v1 schema end to end.
+#   --build-dir  build tree containing bench/bench_micro (default: the
+#                BUILD_DIR environment variable, then <repo>/build)
 #   --out-dir    where BENCH_*.json lands (default: the build dir)
 #
 # Full mode runs all bench_micro benchmarks plus the table-producing harness
@@ -16,7 +19,8 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${REPO_ROOT}/build"
+# Env override first (CI trees live in nonstandard places), --build-dir wins.
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 OUT_DIR=""
 SMOKE=0
 
@@ -46,13 +50,63 @@ if [[ "${SMOKE}" -eq 1 ]]; then
     --benchmark_min_time=0.01 \
     --json "${OUT}"
   # The smoke run doubles as a schema check: every record must carry the
-  # stable keys tools and CI consume.
-  for key in bench n m ns_per_op tree_bytes; do
+  # stable keys tools and CI consume, including the instrumented-query probe
+  # record's query_stats blob.
+  for key in bench n m ns_per_op tree_bytes query_stats; do
     if ! grep -q "\"${key}\"" "${OUT}"; then
       echo "schema check failed: key '${key}' missing from ${OUT}" >&2
       exit 1
     fi
   done
+
+  # End-to-end check of the crashsim.query_stats.v1 export: generate a tiny
+  # temporal dataset, run an instrumented static and temporal query, and
+  # validate the JSON lines structurally (keys present, counts non-negative,
+  # trials run bounded by the target).
+  CLI="${BUILD_DIR}/tools/crashsim_cli"
+  if [[ ! -x "${CLI}" ]]; then
+    echo "crashsim_cli not found at ${CLI}; build the tree first" >&2
+    exit 1
+  fi
+  TMP_DIR="$(mktemp -d)"
+  trap 'rm -rf "${TMP_DIR}"' EXIT
+  "${CLI}" generate --dataset as733 --scale 0.02 --snapshots 6 \
+    --out "${TMP_DIR}/tiny.tel" > /dev/null
+  # First snapshot as a static edge list for the topk query.
+  awk '!/^#/ && $3 == 0 { print $1, $2 }' "${TMP_DIR}/tiny.tel" \
+    > "${TMP_DIR}/tiny.el"
+  SRC="$(awk '{ print $1; exit }' "${TMP_DIR}/tiny.el")"
+  "${CLI}" topk --graph "${TMP_DIR}/tiny.el" --source "${SRC}" --k 5 \
+    --trials 200 --stats_json | tail -n 1 > "${TMP_DIR}/topk_stats.json"
+  "${CLI}" temporal --graph "${TMP_DIR}/tiny.tel" --source "${SRC}" \
+    --kind threshold --theta 0.01 --trials 200 --stats_json \
+    | tail -n 1 > "${TMP_DIR}/temporal_stats.json"
+  python3 - "${TMP_DIR}/topk_stats.json" "${TMP_DIR}/temporal_stats.json" <<'PY'
+import json, sys
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        blob = json.load(f)
+    assert blob["schema"] == "crashsim.query_stats.v1", (path, blob)
+    for key in ("query", "algo", "n", "m", "elapsed_seconds",
+                "trials", "tree", "work", "deadline"):
+        assert key in blob, (path, key)
+    trials = blob["trials"]
+    assert trials["target"] >= 0 and trials["run"] >= 0, (path, trials)
+    assert trials["run"] <= trials["target"], (path, trials)
+    for section in ("tree", "work"):
+        for key, value in blob[section].items():
+            if isinstance(value, (int, float)):
+                assert value >= 0, (path, section, key, value)
+    if blob["query"] == "temporal":
+        assert "temporal" in blob, path
+        temporal = blob["temporal"]
+        assert temporal["snapshots_processed"] > 0, (path, temporal)
+        for key, value in temporal.items():
+            if isinstance(value, (int, float)):
+                assert value >= 0, (path, key, value)
+print("query_stats schema OK")
+PY
   echo "smoke OK: $(grep -c '"bench"' "${OUT}") records in ${OUT}"
   exit 0
 fi

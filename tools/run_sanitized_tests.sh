@@ -7,12 +7,14 @@
 #   tools/run_sanitized_tests.sh thread     # TSan (separate build dir)
 #
 # Each sanitizer combination gets its own build directory
-# (build-sanitized-<combo>) so incremental rebuilds stay correct.
+# (build-sanitized-<combo>) so incremental rebuilds stay correct; set the
+# BUILD_DIR environment variable to place the tree somewhere else (CI
+# scratch volumes, tmpfs, ...).
 set -euo pipefail
 
 SANITIZERS="${1:-address,undefined}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${REPO_ROOT}/build-sanitized-${SANITIZERS//,/-}"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-sanitized-${SANITIZERS//,/-}}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # Make sanitizer findings fatal and loud.
