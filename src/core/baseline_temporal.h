@@ -103,8 +103,8 @@ void CheckQueryInterval(const TemporalGraph& tg, const TemporalQuery& query);
 
 // Status-returning variant for query paths that must not abort the process:
 // kInvalidArgument describing exactly which bound is out of range.
-Status ValidateQueryInterval(const TemporalGraph& tg,
-                             const TemporalQuery& query);
+[[nodiscard]] Status ValidateQueryInterval(const TemporalGraph& tg,
+                                           const TemporalQuery& query);
 
 }  // namespace crashsim
 

@@ -36,7 +36,7 @@ struct CrashSimOptions {
 
   // Domain check (delegates to mc.Validate() and covers the CrashSim-only
   // knobs). Invoked at Bind and at every context-aware query entry.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 // CrashSim (Section III, Algorithm 1): index-free single-source and

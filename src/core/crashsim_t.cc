@@ -80,7 +80,6 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
     std::optional<ReverseReachableTree> fresh_tree;
     if (options_.reuse_source_tree) {
       std::vector<char> in_reach(static_cast<size_t>(g.num_nodes()), 0);
-      const int l_max = crashsim_.LMax();
       for (NodeId w : ReverseReachableWithin(g, query.source, l_max)) {
         in_reach[static_cast<size_t>(w)] = 1;
       }

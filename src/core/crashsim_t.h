@@ -39,7 +39,7 @@ struct CrashSimTOptions {
 
   // Domain check (currently delegates to crashsim.Validate(); the pruning
   // toggles are unconstrained booleans). Invoked at every query entry.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 // CrashSim-T (Section IV): answers temporal SimRank trend/threshold queries

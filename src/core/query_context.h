@@ -47,7 +47,7 @@ class QueryContext {
   // Checkpoint test, cheap enough for inner loops (one atomic load; one
   // clock read only when a deadline is set). Cancellation wins over the
   // deadline when both hold.
-  Status Check() const {
+  [[nodiscard]] Status Check() const {
     if (cancelled()) return CancelledError("query cancelled");
     if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
       return DeadlineExceededError("query deadline exceeded");

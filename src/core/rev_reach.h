@@ -148,9 +148,8 @@ ReverseReachableTree BuildRevReach(const Graph& g, NodeId u, int l_max,
 // Deadline/cancellation-aware variant: the context (nullptr = unbounded) is
 // checked once per level — the build's natural O(m) work quantum — and an
 // out-of-range source is a kInvalidArgument Status instead of a CHECK.
-StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
-                                             int l_max, double c,
-                                             RevReachMode mode,
+[[nodiscard]] StatusOr<ReverseReachableTree> BuildRevReach(
+    const Graph& g, NodeId u, int l_max, double c, RevReachMode mode,
                                              double prune_threshold,
                                              const QueryContext* ctx);
 

@@ -44,7 +44,7 @@ void ResultTable::WriteCsv(std::ostream& out) const {
 }
 
 std::vector<NodeId> SampleDistinctNodes(NodeId n, int count, Rng* rng) {
-  const int want = std::min<int64_t>(count, n);
+  const int want = static_cast<int>(std::min<int64_t>(count, n));
   std::unordered_set<NodeId> seen;
   std::vector<NodeId> out;
   out.reserve(static_cast<size_t>(want));

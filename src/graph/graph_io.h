@@ -46,13 +46,13 @@ struct LoadedGraph {
 
 // Parses "src dst" lines from a stream. Node ids must be non-negative and
 // fit in int64 (overflow is a per-line kInvalidArgument, not UB).
-StatusOr<std::vector<std::pair<int64_t, int64_t>>> ReadEdgeList(
+[[nodiscard]] StatusOr<std::vector<std::pair<int64_t, int64_t>>> ReadEdgeList(
     std::istream& in, const EdgeListLimits& limits = {});
 
 // Loads a static graph from a file (kNotFound if it cannot be opened).
-StatusOr<LoadedGraph> LoadEdgeListFile(const std::string& path,
-                                       bool undirected,
-                                       const EdgeListLimits& limits = {});
+[[nodiscard]] StatusOr<LoadedGraph> LoadEdgeListFile(
+    const std::string& path, bool undirected,
+    const EdgeListLimits& limits = {});
 
 // Writes "src dst" lines (dense internal ids).
 void WriteEdgeList(const Graph& g, std::ostream& out);
@@ -68,8 +68,9 @@ struct LoadedTemporalGraph {
 // set is *cumulative over listed rows for that snapshot only* (i.e. a row
 // states the edge exists in that snapshot). A file with no data rows is
 // kInvalidArgument (a temporal graph needs at least one snapshot).
-StatusOr<LoadedTemporalGraph> LoadTemporalEdgeListFile(
-    const std::string& path, bool undirected, const EdgeListLimits& limits = {});
+[[nodiscard]] StatusOr<LoadedTemporalGraph> LoadTemporalEdgeListFile(
+    const std::string& path, bool undirected,
+    const EdgeListLimits& limits = {});
 
 // Writes one "src dst snapshot" row per edge per snapshot.
 void WriteTemporalEdgeList(const TemporalGraph& tg, std::ostream& out);

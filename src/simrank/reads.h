@@ -22,7 +22,7 @@ struct ReadsOptions {
 
   // Domain check mirroring SimRankOptions::Validate: c in (0, 1), r >= 1,
   // t >= 1, 0 <= r_q <= r.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 // READS (Jiang et al., PVLDB 2017) — the index-based dynamic baseline.

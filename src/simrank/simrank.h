@@ -40,12 +40,12 @@ struct SimRankOptions {
   // trial knobs. Invoked at every Bind/query entry so a typo'd sweep config
   // (c = 1.2, epsilon = -0.1) fails loudly instead of silently producing
   // garbage scores.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 // Shared by the algorithm entry points: source/candidate ids must lie in
 // [0, n). Returns kInvalidArgument naming the offending id otherwise.
-Status ValidateNodeId(NodeId v, NodeId n, const char* what);
+[[nodiscard]] Status ValidateNodeId(NodeId v, NodeId n, const char* what);
 
 // Common interface of every single-source SimRank implementation in this
 // library. An instance is bound to one graph at a time; Bind() rebuilds any

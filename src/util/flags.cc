@@ -108,6 +108,7 @@ bool FlagSet::Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
+      // lint:allow(iostream-write): --help output is FlagSet's contract
       std::fprintf(stderr, "%s", Usage(argv[0]).c_str());
       return false;
     }
@@ -130,6 +131,7 @@ bool FlagSet::Parse(int argc, char** argv) {
       } else if (i + 1 < argc) {
         value = argv[++i];
       } else {
+        // lint:allow(iostream-write): CLI parse errors go to the terminal
         std::fprintf(stderr, "error: flag --%s is missing a value\n%s",
                      name.c_str(), Usage(argv[0]).c_str());
         return false;
@@ -137,6 +139,7 @@ bool FlagSet::Parse(int argc, char** argv) {
     }
     std::string error;
     if (!SetValue(name, value, &error)) {
+      // lint:allow(iostream-write): CLI parse errors go to the terminal
       std::fprintf(stderr, "error: %s\n%s", error.c_str(),
                    Usage(argv[0]).c_str());
       return false;

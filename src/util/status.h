@@ -29,8 +29,11 @@ const char* StatusCodeName(StatusCode code);
 // Value-type error carrier: a code plus a human-readable message. The
 // default-constructed Status is OK; everything in src/ that can fail for a
 // data- or caller-dependent reason returns one of these (CHECK stays
-// reserved for programmer errors / broken invariants).
-class Status {
+// reserved for programmer errors / broken invariants). The class itself is
+// [[nodiscard]]: silently dropping a returned Status discards the only
+// record that a query failed, so every call site must consume or explicitly
+// void-cast it (see docs/STATIC_ANALYSIS.md).
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -43,7 +46,7 @@ class Status {
   // Message chaining: returns this status with "context: " prepended, so
   // callers can annotate as an error bubbles up ("load graph.txt: line 3:
   // negative node id -7"). OK statuses pass through unchanged.
-  Status WithContext(std::string_view context) const;
+  [[nodiscard]] Status WithContext(std::string_view context) const;
 
   // "OK" or "<CODE_NAME>: <message>".
   std::string ToString() const;
@@ -58,13 +61,13 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 // Factory helpers, one per non-OK code.
-Status OkStatus();
-Status InvalidArgumentError(std::string message);
-Status NotFoundError(std::string message);
-Status DeadlineExceededError(std::string message);
-Status CancelledError(std::string message);
-Status ResourceExhaustedError(std::string message);
-Status DataLossError(std::string message);
+[[nodiscard]] Status OkStatus();
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status DeadlineExceededError(std::string message);
+[[nodiscard]] Status CancelledError(std::string message);
+[[nodiscard]] Status ResourceExhaustedError(std::string message);
+[[nodiscard]] Status DataLossError(std::string message);
 
 // Union of a Status and a T: exactly one of the two is active. A non-OK
 // StatusOr never holds a value; value() CHECK-fails unless ok(). Implicit
@@ -75,7 +78,7 @@ Status DataLossError(std::string message);
 //     return loaded;  // moves
 //   }
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit: lets `return SomeError(...)` convert.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT

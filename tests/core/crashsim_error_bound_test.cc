@@ -64,11 +64,11 @@ TEST_P(ErrorBoundSweep, TheoremOneHolds) {
 INSTANTIATE_TEST_SUITE_P(
     EpsilonSeedGrid, ErrorBoundSweep,
     testing::Combine(testing::Values(0.1, 0.05), testing::Values(1u, 2u, 3u)),
-    [](const testing::TestParamInfo<Params>& info) {
+    [](const testing::TestParamInfo<Params>& param_info) {
       const int eps_tag =
-          static_cast<int>(std::lround(std::get<0>(info.param) * 1000));
+          static_cast<int>(std::lround(std::get<0>(param_info.param) * 1000));
       return "eps" + std::to_string(eps_tag) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(TrialCountConsistencyTest, CrashSimTrialsExceedProbeSimByBoundedFactor) {

@@ -74,7 +74,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllGenerators, GeneratorInvariants,
     testing::Values("erdos_renyi", "erdos_renyi_undirected", "barabasi_albert",
                     "barabasi_albert_undirected", "copying_model"),
-    [](const testing::TestParamInfo<std::string>& info) { return info.param; });
+    [](const testing::TestParamInfo<std::string>& param_info) { return param_info.param; });
 
 class DatasetSnapshotInvariants : public testing::TestWithParam<std::string> {};
 
@@ -102,8 +102,8 @@ TEST_P(DatasetSnapshotInvariants, DeltasReplayToSnapshots) {
 INSTANTIATE_TEST_SUITE_P(
     AllDatasets, DatasetSnapshotInvariants,
     testing::Values("as733", "as-caida", "wiki-vote", "hepth", "hepph"),
-    [](const testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (c == '-') c = '_';
       }

@@ -99,10 +99,10 @@ INSTANTIATE_TEST_SUITE_P(
         testing::Values("as733", "wiki-vote", "hepth"),
         testing::Values(TemporalQueryKind::kThreshold,
                         TemporalQueryKind::kTrendIncreasing)),
-    [](const testing::TestParamInfo<Params>& info) {
-      std::string name = std::get<0>(info.param) + "_" +
-                         std::get<1>(info.param) + "_" +
-                         ToString(std::get<2>(info.param));
+    [](const testing::TestParamInfo<Params>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_" +
+                         std::get<1>(param_info.param) + "_" +
+                         ToString(std::get<2>(param_info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }

@@ -122,8 +122,8 @@ INSTANTIATE_TEST_SUITE_P(
                      testing::Values("paper_example", "erdos_renyi_directed",
                                      "erdos_renyi_undirected",
                                      "barabasi_albert", "copying_model")),
-    [](const testing::TestParamInfo<Params>& info) {
-      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    [](const testing::TestParamInfo<Params>& param_info) {
+      return std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
     });
 
 }  // namespace

@@ -76,10 +76,10 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::Values("crashsim_corrected", "probesim",
                                      "pairwise_mc", "sling"),
                      testing::Values(0.4, 0.6, 0.8)),
-    [](const testing::TestParamInfo<Params>& info) {
+    [](const testing::TestParamInfo<Params>& param_info) {
       const int c_tag =
-          static_cast<int>(std::get<1>(info.param) * 100 + 0.5);
-      return std::get<0>(info.param) + "_c" + std::to_string(c_tag);
+          static_cast<int>(std::get<1>(param_info.param) * 100 + 0.5);
+      return std::get<0>(param_info.param) + "_c" + std::to_string(c_tag);
     });
 
 }  // namespace

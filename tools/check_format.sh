@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Format gate: verifies every tracked C++ file matches .clang-format, without
+# rewriting anything (clang-format --dry-run -Werror). Like
+# run_static_analysis.sh, the check degrades gracefully: when no clang-format
+# binary exists on PATH the check is reported as SKIPPED and exits 0, so
+# GCC-only environments still run the rest of the gate. CI installs
+# clang-format and enforces it.
+#
+#   tools/check_format.sh              # whole tree
+#   tools/check_format.sh src/foo.cc   # specific files
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+CLANG_FORMAT=""
+for candidate in clang-format clang-format-{21,20,19,18,17,16,15,14}; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    CLANG_FORMAT="$(command -v "${candidate}")"
+    break
+  fi
+done
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  echo "SKIPPED: no clang-format on PATH (install clang-format to enable)"
+  exit 0
+fi
+
+if [[ $# -gt 0 ]]; then
+  FILES=("$@")
+else
+  mapfile -t FILES < <(
+    cd "${REPO_ROOT}" &&
+    { git ls-files '*.cc' '*.cpp' '*.h' '*.hpp' 2>/dev/null ||
+      find src tools bench tests examples \
+           \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) -print; } |
+    grep -v '/testdata/' | sort)
+fi
+
+echo "clang-format: checking ${#FILES[@]} files (${CLANG_FORMAT})"
+(cd "${REPO_ROOT}" &&
+ printf '%s\0' "${FILES[@]}" |
+ xargs -0 "${CLANG_FORMAT}" --dry-run -Werror --style=file)
+echo "clang-format: OK"

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: repo-specific rules clang-tidy cannot express.
+
+Rules (see docs/STATIC_ANALYSIS.md for rationale and suppression policy):
+
+  nodiscard-status     Every header declaration returning Status or
+                       StatusOr<T> (including every Validate()) must carry
+                       [[nodiscard]] — a dropped Status silently corrupts
+                       the (epsilon, delta) guarantee. Applies to src/**/*.h.
+
+  thread-primitives    Raw std::thread / std::jthread / std::mutex (and
+                       variants) / std::condition_variable are confined to
+                       src/util/parallel.* and src/util/metrics.*. Library
+                       code parallelises through ParallelFor so concurrency
+                       stays in one audited, TSan-hammered place.
+
+  unseeded-randomness  No rand()/srand()/time()/std::random_device in
+                       src/core/ or src/simrank/: all randomness flows from
+                       explicit seeds (util/rng.h) so results stay
+                       bit-reproducible across runs and thread counts.
+
+  iostream-write       Library code (src/**) never writes to stdout/stderr:
+                       no <iostream>, std::cout/cerr/clog, printf, or
+                       fprintf(stdout/stderr). Errors travel as Status;
+                       diagnostics go through util/logging.h (the one
+                       exempted module, which owns the terminal sink).
+
+Suppression: append  // lint:allow(<rule-id>): <justification>  to the
+offending line, or put it on a comment-only line immediately above. The
+justification is mandatory — a bare allow is an error.
+
+Exit code 0 when clean, 1 with one "path:line: [rule] message" per finding
+otherwise. No dependencies beyond the Python 3 standard library.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HEADER_EXTS = {".h", ".hpp"}
+SOURCE_EXTS = {".h", ".hpp", ".cc", ".cpp"}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)(:?\s*(\S.*))?$")
+
+# A declaration whose return type is Status or StatusOr<...> followed by a
+# function name and an opening paren. Deliberately does not match:
+#   Status status;                (member / local: no paren)
+#   Status(StatusCode code, ...)  (constructor: no name between type and paren)
+#   const Status& status() const  (reference accessors need no nodiscard)
+STATUS_DECL_RE = re.compile(
+    r"\b(?:Status|StatusOr<[^;=]*>)\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
+)
+
+THREAD_PRIMITIVE_RE = re.compile(
+    r"\bstd::(thread|jthread|mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"condition_variable|condition_variable_any)\b"
+)
+THREAD_EXEMPT = ("src/util/parallel.", "src/util/metrics.")
+
+# rand() takes no arguments and C time() is called as time(NULL / nullptr /
+# 0 / &var), so matching those call shapes keeps members *named* time(...)
+# out of scope.
+RANDOMNESS_RE = re.compile(
+    r"(?<![\w:])(?:std::)?rand\s*\(\s*\)|(?<![\w:])(?:std::)?srand\s*\(|"
+    r"(?<![\w:.])(?:std::)?time\s*\(\s*(?:NULL\b|nullptr\b|0[,)]|&)|"
+    r"\bstd::random_device\b"
+)
+RANDOMNESS_DIRS = ("src/core/", "src/simrank/")
+
+IOSTREAM_RE = re.compile(
+    r"#\s*include\s*<iostream>|\bstd::(cout|cerr|clog)\b|"
+    r"(?<![\w.])(?:std::)?f?printf\s*\("
+)
+IOSTREAM_EXEMPT = ("src/util/logging.",)
+
+
+def strip_comments_and_strings(line):
+    """Blanks out string/char literals and // comments so rule regexes never
+    fire on quoted text or prose (block comments are handled line-wise by the
+    caller). Keeps column positions stable."""
+    out = []
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        ch = line[i]
+        if quote:
+            if ch == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" " if ch != quote else quote)
+            if ch == quote:
+                quote = None
+            i += 1
+            continue
+        if ch in "\"'":
+            quote = ch
+            out.append(ch)
+        elif ch == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a line comment
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = Path(root)
+        self.findings = []
+
+    def report(self, path, lineno, rule, message, raw_line, prev_raw=""):
+        m = ALLOW_RE.search(raw_line)
+        if not (m and m.group(1) == rule) and prev_raw.strip().startswith("//"):
+            m = ALLOW_RE.search(prev_raw)
+        if m and m.group(1) == rule:
+            if not m.group(3):
+                self.findings.append(
+                    (path, lineno, rule,
+                     "lint:allow without a justification — write "
+                     "// lint:allow(%s): <why>" % rule))
+            return
+        self.findings.append((path, lineno, rule, message))
+
+    def lint_file(self, path):
+        rel = path.relative_to(self.root).as_posix()
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            self.findings.append((rel, 0, "io", str(e)))
+            return
+        lines = text.splitlines()
+
+        in_block_comment = False
+        prev_code = ""  # previous non-blank, non-comment stripped line
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw
+            if in_block_comment:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = " " * (end + 2) + line[end + 2:]
+                in_block_comment = False
+            # Strip any block comments opening (and possibly closing) here.
+            while True:
+                start = line.find("/*")
+                if start < 0:
+                    break
+                end = line.find("*/", start + 2)
+                if end < 0:
+                    line = line[:start]
+                    in_block_comment = True
+                    break
+                line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+            prev_raw = lines[lineno - 2] if lineno >= 2 else ""
+            code = strip_comments_and_strings(line)
+            if not code.strip():
+                continue
+
+            self._check_line(rel, lineno, code, raw, prev_code, prev_raw)
+            prev_code = code.strip()
+
+    def _check_line(self, rel, lineno, code, raw, prev_code, prev_raw):
+        is_header = Path(rel).suffix in HEADER_EXTS
+
+        if is_header and rel.startswith("src/"):
+            m = STATUS_DECL_RE.search(code)
+            if m:
+                # using/typedef/macro lines and return statements are not
+                # declarations.
+                stripped = code.strip()
+                # Friend declarations cannot legally carry an
+                # attribute-specifier-seq ([dcl.attr.grammar]); the primary
+                # declaration is what gets annotated.
+                is_decl = not (
+                    stripped.startswith(
+                        ("return", "using", "typedef", "#", "friend"))
+                    or "= " + m.group(0).rstrip("(") in stripped)
+                annotated = ("[[nodiscard]]" in code
+                             or prev_code.endswith("[[nodiscard]]"))
+                if is_decl and not annotated:
+                    self.report(
+                        rel, lineno, "nodiscard-status",
+                        "declaration returning Status/StatusOr must be "
+                        "[[nodiscard]] (function %r)" % m.group(1), raw,
+                        prev_raw)
+
+        if rel.startswith("src/") and not rel.startswith(THREAD_EXEMPT):
+            m = THREAD_PRIMITIVE_RE.search(code)
+            if m:
+                self.report(
+                    rel, lineno, "thread-primitives",
+                    "std::%s outside src/util/parallel.* and "
+                    "src/util/metrics.* — use ParallelFor" % m.group(1), raw,
+                    prev_raw)
+
+        if rel.startswith(RANDOMNESS_DIRS):
+            m = RANDOMNESS_RE.search(code)
+            if m:
+                self.report(
+                    rel, lineno, "unseeded-randomness",
+                    "%r in the estimator core — all randomness must flow "
+                    "from explicit seeds (util/rng.h)" % m.group(0).strip(),
+                    raw, prev_raw)
+
+        if rel.startswith("src/") and not rel.startswith(IOSTREAM_EXEMPT):
+            m = IOSTREAM_RE.search(code)
+            if m:
+                self.report(
+                    rel, lineno, "iostream-write",
+                    "library code must not write to stdout/stderr (%r); "
+                    "return Status or use util/logging.h"
+                    % m.group(0).strip(), raw, prev_raw)
+
+    def run(self, paths=None):
+        if paths:
+            files = [Path(p) if Path(p).is_absolute() else self.root / p
+                     for p in paths]
+        else:
+            files = sorted(p for p in (self.root / "src").rglob("*")
+                           if p.suffix in SOURCE_EXTS)
+        for f in files:
+            self.lint_file(f)
+        return self.findings
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("files", nargs="*",
+                    help="specific files to lint (default: src/ tree); "
+                         "paths must live under --root")
+    args = ap.parse_args(argv)
+
+    linter = Linter(Path(args.root).resolve())
+    findings = linter.run(args.files or None)
+    for path, lineno, rule, message in findings:
+        print("%s:%d: [%s] %s" % (path, lineno, rule, message))
+    if findings:
+        print("check_invariants: %d finding(s)" % len(findings),
+              file=sys.stderr)
+        return 1
+    print("check_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,45 @@
+#ifndef CRASHSIM_LINT_TESTDATA_GOOD_CORE_H_
+#define CRASHSIM_LINT_TESTDATA_GOOD_CORE_H_
+
+// Fixture: a header the invariant linter must accept. Every near-miss the
+// rules are supposed to tolerate lives here, so a regression that makes a
+// rule greedier fails lint.selftest before it fails the real tree.
+
+#include <string>
+
+namespace crashsim {
+
+class Status;
+template <typename T>
+class StatusOr;
+
+struct GoodOptions {
+  // Annotated on the same line: accepted.
+  [[nodiscard]] Status Validate() const;
+};
+
+// Annotated declaration split over two lines: accepted.
+[[nodiscard]] StatusOr<int> ParseTrialCount(const std::string& text,
+                                            int max_value);
+
+class Holder {
+ public:
+  // Members and reference accessors carry no annotation: not declarations
+  // returning a Status by value.
+  const Status& status() const;
+
+ private:
+  Status* status_;
+};
+
+// A comment mentioning Status Validate() const; is prose, not a declaration.
+/* So is Status InBlockComment(int); inside a block comment. */
+
+struct Clock {
+  // Member functions named time(...) are not the C library time().
+  double time(int snapshot) const;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_LINT_TESTDATA_GOOD_CORE_H_

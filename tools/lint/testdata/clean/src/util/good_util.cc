@@ -1,0 +1,36 @@
+// Fixture: library source the invariant linter must accept.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace crashsim {
+
+// Writing to a string stream is not a terminal write.
+std::string Render(int value) {
+  std::ostringstream os;
+  os << "value=" << value;
+  return os.str();
+}
+
+// The word printf inside a string or comment is prose:
+// callers should prefer logging over printf-style output.
+const char* kHint = "never printf from library code";
+
+// snprintf formats into a caller buffer; only terminal writes are banned.
+int FormatInto(char* buf, int size, int value) {
+  return std::snprintf(buf, static_cast<size_t>(size), "%d", value);
+}
+
+// Justified suppressions are accepted, on the same line ...
+void DumpSameLine(int v) {
+  std::fprintf(stderr, "v=%d\n", v);  // lint:allow(iostream-write): fixture
+}
+
+// ... or on a comment-only line immediately above the finding.
+void DumpLineAbove(int v) {
+  // lint:allow(iostream-write): fixture — allow on the preceding line
+  std::fprintf(stderr, "v=%d\n", v);
+}
+
+}  // namespace crashsim

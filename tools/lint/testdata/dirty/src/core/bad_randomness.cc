@@ -1,0 +1,16 @@
+// Fixture: every line marked MUST-FAIL below has to produce an
+// unseeded-randomness finding (this file sits under src/core/).
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace crashsim {
+
+unsigned SampleBad() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // MUST-FAIL (both calls)
+  std::random_device entropy;                        // MUST-FAIL
+  return static_cast<unsigned>(rand()) + entropy();  // MUST-FAIL
+}
+
+}  // namespace crashsim

@@ -1,0 +1,14 @@
+// Fixture: terminal writes from library code must each produce an
+// iostream-write finding.
+
+#include <cstdio>
+#include <iostream>  // MUST-FAIL
+
+namespace crashsim {
+
+void Report(double score) {
+  std::cout << "score=" << score << "\n";  // MUST-FAIL
+  std::fprintf(stderr, "score=%f\n", score);  // MUST-FAIL
+}
+
+}  // namespace crashsim

@@ -1,0 +1,16 @@
+// Fixture: raw thread primitives outside src/util/parallel.* and
+// src/util/metrics.* must each produce a thread-primitives finding.
+
+#include <mutex>
+#include <thread>
+
+namespace crashsim {
+
+std::mutex g_lock;  // MUST-FAIL
+
+void SpawnWorker() {
+  std::thread worker([] {});  // MUST-FAIL
+  worker.join();
+}
+
+}  // namespace crashsim

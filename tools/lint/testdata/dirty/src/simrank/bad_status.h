@@ -1,0 +1,25 @@
+#ifndef CRASHSIM_LINT_TESTDATA_BAD_STATUS_H_
+#define CRASHSIM_LINT_TESTDATA_BAD_STATUS_H_
+
+// Fixture: Status/StatusOr declarations missing [[nodiscard]] must each
+// produce a nodiscard-status finding.
+
+namespace crashsim {
+
+class Status;
+template <typename T>
+class StatusOr;
+struct Graph;
+
+struct BadOptions {
+  Status Validate() const;  // MUST-FAIL
+};
+
+StatusOr<Graph> LoadSomething(const char* path);  // MUST-FAIL
+
+// A suppression without a justification is itself an error.
+Status Unjustified();  // lint:allow(nodiscard-status)
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_LINT_TESTDATA_BAD_STATUS_H_

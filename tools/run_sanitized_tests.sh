@@ -1,29 +1,41 @@
 #!/usr/bin/env bash
-# Builds the tree with sanitizers enabled and runs the full test suite under
-# them. Default is ASan+UBSan in one pass; pass a CRASHSIM_SANITIZE value to
-# override, e.g.:
+# Builds the tree with sanitizers enabled and runs the test suite under them.
+# Layer 3 of the correctness-tooling gate (docs/STATIC_ANALYSIS.md): ASan and
+# UBSan catch memory and UB bugs, TSan catches data races in the parallel
+# core (hammered by tests/util/concurrency_stress_test.cc).
 #
-#   tools/run_sanitized_tests.sh            # address,undefined
-#   tools/run_sanitized_tests.sh thread     # TSan (separate build dir)
+#   tools/run_sanitized_tests.sh                  # address,undefined
+#   tools/run_sanitized_tests.sh thread           # TSan (separate build dir)
+#   tools/run_sanitized_tests.sh all              # both passes in sequence
 #
 # Each sanitizer combination gets its own build directory
 # (build-sanitized-<combo>) so incremental rebuilds stay correct; set the
 # BUILD_DIR environment variable to place the tree somewhere else (CI
-# scratch volumes, tmpfs, ...).
+# scratch volumes, tmpfs, ...). Set CTEST_ARGS to narrow the run, e.g.
+# CTEST_ARGS="-R ConcurrencyStress" for a quick TSan pass over the stress
+# suite only.
 set -euo pipefail
 
 SANITIZERS="${1:-address,undefined}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-sanitized-${SANITIZERS//,/-}}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${SANITIZERS}" == "all" ]]; then
+  "$0" address,undefined
+  exec "$0" thread
+fi
+
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-sanitized-${SANITIZERS//,/-}}"
 
 # Make sanitizer findings fatal and loud.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=0}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
-export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCRASHSIM_SANITIZE="${SANITIZERS}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+# shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+  ${CTEST_ARGS:-}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Layers 1 + 2 of the correctness-tooling gate (docs/STATIC_ANALYSIS.md):
+#
+#   layer 2 — project-invariant linter (tools/lint/check_invariants.py),
+#             pure Python, always runs;
+#   layer 1 — clang-tidy over src/ tools/ bench/ tests/ with the curated
+#             .clang-tidy config and --warnings-as-errors, driven by the
+#             compile_commands.json CMake exports.
+#
+# clang-tidy is optional tooling: when no clang-tidy binary exists on PATH
+# (this repo's baseline container ships only GCC), layer 1 is reported as
+# SKIPPED and the script still exits by the linter's verdict, so the gate
+# degrades to layer 2 instead of failing spuriously. CI installs clang-tidy
+# and gets both layers.
+#
+#   tools/run_static_analysis.sh              # lint + tidy over the tree
+#   tools/run_static_analysis.sh src/foo.cc   # restrict tidy to given files
+#   BUILD_DIR=out tools/run_static_analysis.sh  # use an existing build tree
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== layer 2: project-invariant linter =="
+python3 "${REPO_ROOT}/tools/lint/check_invariants.py" --root "${REPO_ROOT}"
+
+echo "== layer 1: clang-tidy =="
+CLANG_TIDY=""
+for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    CLANG_TIDY="$(command -v "${candidate}")"
+    break
+  fi
+done
+if [[ -z "${CLANG_TIDY}" ]]; then
+  echo "SKIPPED: no clang-tidy on PATH (install clang-tidy to enable layer 1)"
+  exit 0
+fi
+
+# clang-tidy replays the exact compile commands, so the export must exist.
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+fi
+
+if [[ $# -gt 0 ]]; then
+  FILES=("$@")
+else
+  # tools/lint/testdata holds deliberately-broken lint fixtures; they are
+  # linted by lint_selftest.py, never compiled, so tidy skips them.
+  mapfile -t FILES < <(
+    find "${REPO_ROOT}/src" "${REPO_ROOT}/tools" "${REPO_ROOT}/bench" \
+         "${REPO_ROOT}/tests" -path '*/testdata/*' -prune -o \
+         \( -name '*.cc' -o -name '*.cpp' \) -print | sort)
+fi
+
+echo "clang-tidy: ${#FILES[@]} files, ${JOBS} jobs (${CLANG_TIDY})"
+printf '%s\0' "${FILES[@]}" | xargs -0 -n 8 -P "${JOBS}" \
+  "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet --warnings-as-errors='*'
+echo "clang-tidy: OK"
