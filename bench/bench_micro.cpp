@@ -5,11 +5,14 @@
 // power-method iteration, and snapshot materialisation.
 //
 // Besides the standard --benchmark_* flags, the binary accepts
-//   --json <path>   (or --json=<path>)
-// which also writes the results as a stable machine-readable schema: a JSON
+//   --json <path>       (or --json=<path>)
+//   --trace_out <path>  (or --trace_out=<path>)
+// --json also writes the results as a stable machine-readable schema: a JSON
 // array of {"bench", "n", "m", "ns_per_op", "tree_bytes"} objects (0 for
 // fields a benchmark does not populate). tools/run_benchmarks.sh feeds the
-// BENCH_*.json perf trajectory from it.
+// BENCH_*.json perf trajectory from it. --trace_out runs one instrumented
+// CrashSim query AFTER the benchmarks finish (so span recording never
+// pollutes the timings) and writes its Chrome trace-event timeline.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -33,6 +36,7 @@
 #include "simrank/walk.h"
 #include "util/rng.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace crashsim {
 namespace {
@@ -361,13 +365,42 @@ bool WriteJson(const std::string& path,
   return static_cast<bool>(out);
 }
 
+// One traced CrashSim query (num_threads = 2 so the pool emits
+// parallel_for.shard spans even on a single-core host), exported as Chrome
+// trace-event JSON. Runs after the benchmark loop: tracing stays disabled
+// while anything is being timed.
+bool WriteTrace(const std::string& path) {
+  StartTracing();
+  {
+    const Graph& g = FixtureGraph(1000);
+    CrashSimOptions opt;
+    opt.mc.trials_override = 200;
+    opt.num_threads = 2;
+    CrashSim algo(opt);
+    algo.Bind(&g);
+    QueryContext ctx;
+    const PartialResult result = algo.SingleSource(1, &ctx);
+    benchmark::DoNotOptimize(result.trials_done);
+  }
+  StopTracing();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open --trace_out path %s\n", path.c_str());
+    return false;
+  }
+  out << ExportChromeTrace();
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 }  // namespace crashsim
 
 int main(int argc, char** argv) {
-  // Extract --json <path> / --json=<path> before google-benchmark sees the
-  // command line (it rejects flags it does not own).
+  // Extract --json <path> / --json=<path> (and --trace_out, same shapes)
+  // before google-benchmark sees the command line (it rejects flags it does
+  // not own).
   std::string json_path;
+  std::string trace_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -375,6 +408,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--trace_out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace_out=", 0) == 0) {
+      trace_path = arg.substr(12);
     } else {
       args.push_back(argv[i]);
     }
@@ -390,6 +427,10 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     if (!crashsim::WriteJson(json_path, reporter.runs())) return 1;
     std::printf("[json written to %s]\n", json_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!crashsim::WriteTrace(trace_path)) return 1;
+    std::printf("[trace written to %s]\n", trace_path.c_str());
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace crashsim {
 
@@ -206,6 +207,7 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
       return result;
     }
   }
+  TRACE_SPAN("crashsim.partial");
   const int l_max = tree.max_level();
   const int64_t n_r = TrialsFor(g.num_nodes());
   const bool corrected = options_.mode == RevReachMode::kCorrected;
@@ -282,6 +284,7 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
       }
     }
     const int64_t batch = std::min(block, n_r - done);
+    TRACE_SPAN("crashsim.trial_block");
     if (options_.num_threads > 1) {
       ParallelFor(
           static_cast<int64_t>(candidates.size()),

@@ -9,6 +9,7 @@
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace crashsim {
 
@@ -58,6 +59,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
 
   for (int t = query.begin_snapshot + 1;
        t <= query.end_snapshot && !filter.candidates().empty(); ++t) {
+    TRACE_SPAN("crashsim_t.snapshot");
     cursor.Advance();
     const Graph& g = cursor.graph();
     crashsim_.Bind(&g);
@@ -129,6 +131,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
       if (options_.enable_delta_pruning &&
           (e_omega == 0 ||
            e_delta < static_cast<int64_t>(omega.size()) * n_r / e_omega)) {
+        TRACE_SPAN("crashsim_t.delta_prune");
         answer.stats.delta_prune_checks += static_cast<int64_t>(omega.size());
         std::vector<char> affected(static_cast<size_t>(g.num_nodes()), 0);
         for (NodeId y : delta_heads) {
@@ -152,6 +155,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
       // Difference pruning (Property 2): compare each remaining candidate's
       // reverse-reachable tree across the two snapshots.
       if (options_.enable_difference_pruning && e_omega < n_r) {
+        TRACE_SPAN("crashsim_t.difference_prune");
         std::vector<char> maybe_changed;
         if (options_.difference_reachability_prefilter) {
           maybe_changed.assign(static_cast<size_t>(g.num_nodes()), 0);
@@ -309,6 +313,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
 
   for (int t = query.begin_snapshot + 1;
        t <= query.end_snapshot && !filter.candidates().empty(); ++t) {
+    TRACE_SPAN("crashsim_t.snapshot");
     // One checkpoint per snapshot; finer-grained checks happen inside the
     // tree builds and the trial loop below.
     if (ctx != nullptr) {
@@ -406,6 +411,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
       if (options_.enable_delta_pruning &&
           (e_omega == 0 ||
            e_delta < static_cast<int64_t>(omega.size()) * n_r / e_omega)) {
+        TRACE_SPAN("crashsim_t.delta_prune");
         answer.stats.delta_prune_checks += static_cast<int64_t>(omega.size());
         std::vector<char> affected(static_cast<size_t>(g.num_nodes()), 0);
         for (NodeId y : delta_heads) {
@@ -425,6 +431,7 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
       }
 
       if (options_.enable_difference_pruning && e_omega < n_r) {
+        TRACE_SPAN("crashsim_t.difference_prune");
         std::vector<char> maybe_changed;
         if (options_.difference_reachability_prefilter) {
           maybe_changed.assign(static_cast<size_t>(g.num_nodes()), 0);

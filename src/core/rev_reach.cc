@@ -7,6 +7,7 @@
 #include "simrank/simrank.h"
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace crashsim {
 
@@ -72,6 +73,7 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
                                              const QueryContext* ctx) {
   RETURN_IF_ERROR(ValidateNodeId(u, g.num_nodes(), "source"));
   CRASHSIM_CHECK_GE(l_max, 0);
+  TRACE_SPAN("rev_reach.build");
   const Stopwatch build_timer;
   const double sqrt_c = std::sqrt(c);
   const NodeId n = g.num_nodes();
@@ -100,6 +102,7 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
   parent_of[static_cast<size_t>(u)] = -1;
 
   for (int level = 0; level < l_max && !frontier.empty(); ++level) {
+    TRACE_SPAN("rev_reach.level");
     // One deadline/cancel checkpoint per level: each level is O(m) work, the
     // build's natural quantum.
     if (ctx != nullptr) RETURN_IF_ERROR(ctx->Check());

@@ -8,6 +8,7 @@
 
 #include "graph/graph_builder.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace crashsim {
 namespace {
@@ -122,6 +123,7 @@ StatusOr<std::vector<std::pair<int64_t, int64_t>>> ReadEdgeList(
 StatusOr<LoadedGraph> LoadEdgeListFile(const std::string& path,
                                        bool undirected,
                                        const EdgeListLimits& limits) {
+  TRACE_SPAN("graph_io.load_edge_list");
   std::ifstream in(path);
   if (!in) return NotFoundError("cannot open " + path);
   StatusOr<std::vector<std::pair<int64_t, int64_t>>> raw =
@@ -154,6 +156,7 @@ void WriteEdgeList(const Graph& g, std::ostream& out) {
 
 StatusOr<LoadedTemporalGraph> LoadTemporalEdgeListFile(
     const std::string& path, bool undirected, const EdgeListLimits& limits) {
+  TRACE_SPAN("graph_io.load_temporal_edge_list");
   std::ifstream in(path);
   if (!in) return NotFoundError("cannot open " + path);
   std::string line;

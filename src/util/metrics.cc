@@ -43,6 +43,22 @@ int64_t FixedHistogram::BucketCount(int bucket) const {
   return counts_[static_cast<size_t>(bucket)].load(std::memory_order_relaxed);
 }
 
+FixedHistogram::Snapshot FixedHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.cumulative.reserve(counts_.size());
+  int64_t running = 0;
+  for (const std::atomic<int64_t>& c : counts_) {
+    running += c.load(std::memory_order_relaxed);
+    snap.cumulative.push_back(running);
+  }
+  // The +Inf bucket defines the total so the invariant
+  // cumulative.back() == total holds even mid-Record() (total_ may trail).
+  snap.total = running;
+  snap.sum = Sum();
+  return snap;
+}
+
 std::string FixedHistogram::ToString() const {
   std::string out;
   for (int b = 0; b < num_buckets(); ++b) {
@@ -122,6 +138,65 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::SnapshotGauges() const {
   out.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
     out.push_back({name, gauge->Value()});
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramSample>
+MetricsRegistry::SnapshotHistograms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.push_back({name, hist->TakeSnapshot()});
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+// dotted names map dots (and anything else outside the set) to underscores
+// under a "crashsim_" prefix.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "crashsim_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportPrometheusText() const {
+  std::string out;
+  for (const Sample& s : SnapshotCounters()) {
+    const std::string name = PrometheusName(s.name) + "_total";
+    out += StrFormat("# TYPE %s counter\n%s %lld\n", name.c_str(),
+                     name.c_str(), static_cast<long long>(s.value));
+  }
+  for (const Sample& s : SnapshotGauges()) {
+    const std::string name = PrometheusName(s.name);
+    out += StrFormat("# TYPE %s gauge\n%s %lld\n", name.c_str(), name.c_str(),
+                     static_cast<long long>(s.value));
+  }
+  for (const HistogramSample& h : SnapshotHistograms()) {
+    const std::string name = PrometheusName(h.name);
+    out += StrFormat("# TYPE %s histogram\n", name.c_str());
+    const FixedHistogram::Snapshot& snap = h.snapshot;
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      out += StrFormat("%s_bucket{le=\"%lld\"} %lld\n", name.c_str(),
+                       static_cast<long long>(snap.bounds[i]),
+                       static_cast<long long>(snap.cumulative[i]));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", name.c_str(),
+                     static_cast<long long>(snap.cumulative.back()));
+    out += StrFormat("%s_sum %lld\n", name.c_str(),
+                     static_cast<long long>(snap.sum));
+    out += StrFormat("%s_count %lld\n", name.c_str(),
+                     static_cast<long long>(snap.total));
   }
   return out;
 }

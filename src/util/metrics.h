@@ -72,6 +72,19 @@ class Gauge {
 // binary search plus one relaxed increment — safe from any thread.
 class FixedHistogram {
  public:
+  // Point-in-time read with *cumulative* bucket counts — the shape the
+  // Prometheus exposition format requires: cumulative[i] counts values
+  // <= bounds[i], and cumulative.back() is the +Inf bucket (== total, by
+  // construction, even while writers race: total/sum are re-read relaxed,
+  // so they may trail the bucket sums by in-flight Record()s; the
+  // cumulative counts themselves are always internally consistent).
+  struct Snapshot {
+    std::vector<int64_t> bounds;      // ascending finite bucket bounds
+    std::vector<int64_t> cumulative;  // bounds.size() + 1; last is +Inf
+    int64_t total = 0;                // == cumulative.back()
+    int64_t sum = 0;
+  };
+
   // `bounds` must be non-empty and strictly ascending.
   explicit FixedHistogram(std::vector<int64_t> bounds);
 
@@ -86,6 +99,8 @@ class FixedHistogram {
   int64_t BucketCount(int bucket) const;
   int num_buckets() const { return static_cast<int>(counts_.size()); }
   const std::vector<int64_t>& bounds() const { return bounds_; }
+
+  Snapshot TakeSnapshot() const;
 
   // Renders "(..8]:3 (8..64]:1 (64..]:0" skipping empty buckets.
   std::string ToString() const;
@@ -129,8 +144,21 @@ class MetricsRegistry {
   std::vector<Sample> SnapshotCounters() const;
   std::vector<Sample> SnapshotGauges() const;
 
+  struct HistogramSample {
+    std::string name;
+    FixedHistogram::Snapshot snapshot;
+  };
+  std::vector<HistogramSample> SnapshotHistograms() const;
+
   // Multi-line human dump of every metric (counters, gauges, histograms).
   std::string ToString() const;
+
+  // Prometheus text exposition format (version 0.0.4): every metric name is
+  // sanitised to [a-zA-Z0-9_] and prefixed "crashsim_"; counters gain the
+  // "_total" suffix; histograms emit cumulative "_bucket" series with an
+  // le="+Inf" bucket plus "_sum"/"_count", straight from
+  // FixedHistogram::TakeSnapshot(). Validated by tools/check_prometheus.py.
+  std::string ExportPrometheusText() const;
 
   // Zeroes all counters (gauges and histogram contents are left alone —
   // gauges describe current state, histograms have no reset use case yet).

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace crashsim {
 namespace {
@@ -55,10 +56,13 @@ struct ForState {
 };
 
 // A contiguous shard of one ParallelFor range, queued for a pool worker.
+// flow_id ties the shard back to the spawning ParallelFor span in traces
+// (0 = tracing was off at submit time).
 struct Shard {
   ForState* state;
   int64_t begin;
   int64_t end;
+  uint64_t flow_id;
 };
 
 // True on threads owned by the pool: a nested ParallelFor on a worker runs
@@ -109,6 +113,10 @@ class ThreadPool {
         queue_.pop_front();
       }
       try {
+        // The shard span plus the flow-in arrow make worker execution
+        // attributable to the ParallelFor call that spawned it in Perfetto.
+        TRACE_SPAN("parallel_for.shard");
+        TraceFlowIn(shard.flow_id);
         (*shard.state->fn)(shard.begin, shard.end);
       } catch (...) {
         shard.state->RecordError(std::current_exception());
@@ -131,6 +139,7 @@ int ParallelWorkerCount() { return ThreadPool::Instance().num_workers(); }
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk, int max_threads) {
   if (n <= 0) return;
+  TRACE_SPAN("parallel_for");
   ForCallsCounter().Add(1);
   // Thread budget: the explicit cap when given (honoured even beyond core
   // count — an explicit request to oversubscribe is the caller's call),
@@ -157,13 +166,17 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
   ForState state;
   state.fn = &fn;
 
+  // Flow arrow from this call's span to every shard span it spawns.
+  const uint64_t flow_id = TraceEnabled() ? NewTraceFlowId() : 0;
+  TraceFlowOut(flow_id);
+
   std::vector<Shard> shards;
   shards.reserve(static_cast<size_t>(num_shards - 1));
   for (int64_t t = 1; t < num_shards; ++t) {
     const int64_t begin = t * chunk;
     const int64_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    shards.push_back({&state, begin, end});
+    shards.push_back({&state, begin, end, flow_id});
   }
   state.pending = static_cast<int>(shards.size());
   // Caller shard + pool shards; counted before Submit so the total is stable

@@ -2,13 +2,31 @@
 #define CRASHSIM_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace crashsim {
 
-// Wall-clock stopwatch with millisecond/second accessors. Starts running on
-// construction.
+// All elapsed-time measurement in this repo runs on the monotonic
+// std::chrono::steady_clock — never the adjustable system clock — so trace
+// timestamps, QueryStats timings, and deadline-slack numbers can't jump or
+// go negative under NTP slew or a wall-clock change. QueryContext deadlines
+// (core/query_context.h) use the same clock; tests/util/timer_test.cc pins
+// the alias.
+
+// Monotonic steady-clock nanoseconds since an arbitrary fixed epoch (the
+// timestamp unit of util/trace.h events).
+inline int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Monotonic stopwatch with second/millisecond/microsecond accessors. Starts
+// running on construction.
 class Stopwatch {
  public:
+  using Clock = std::chrono::steady_clock;
+
   Stopwatch() : start_(Clock::now()) {}
 
   // Restarts the stopwatch.
@@ -22,7 +40,6 @@ class Stopwatch {
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

@@ -31,6 +31,7 @@
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace crashsim {
 namespace {
@@ -300,6 +301,45 @@ TEST(ConcurrencyStressTest, ParallelQueriesShareEngineReadOnly) {
     EXPECT_EQ(concurrent[static_cast<size_t>(t)], r.scores)
         << "thread " << t;
   }
+}
+
+TEST(ConcurrencyStressTest, TracingRecordersRaceStartStopToggles) {
+  // Recorder threads hammer the per-thread ring buffers (spans + flow
+  // events) while the main thread flips StartTracing/StopTracing, which
+  // concurrently resets every registered buffer. Under TSan this exercises
+  // the single-writer/many-reset protocol: size_ is the only cross-thread
+  // handoff, published with release stores and reread with acquire loads.
+  constexpr int kRecorders = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kRecorders);
+  for (int t = 0; t < kRecorders; ++t) {
+    threads.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        TRACE_SPAN("stress.outer");
+        TraceFlowOut(TraceEnabled() ? NewTraceFlowId() : 0);
+        {
+          TRACE_SPAN("stress.inner");
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    StartTracing();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    StopTracing();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : threads) th.join();
+
+  // Writers have joined, so exporting is safe and must stay balanced even
+  // though mid-span resets left torn begin/end pairs in the buffers.
+  const std::string json = ExportChromeTrace();
+  EXPECT_FALSE(json.empty());
+  const std::string table = ExportTraceAggregateTable();
+  EXPECT_FALSE(table.empty());
+  StartTracing();  // leave no stale events behind for later tests
+  StopTracing();
 }
 
 }  // namespace

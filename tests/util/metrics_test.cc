@@ -59,6 +59,23 @@ TEST(FixedHistogramTest, BucketsByUpperBound) {
   EXPECT_FALSE(h.ToString().empty());
 }
 
+TEST(FixedHistogramTest, SnapshotIsCumulativeWithInfBucket) {
+  FixedHistogram h({8, 64, 512});
+  h.Record(1);
+  h.Record(8);
+  h.Record(9);
+  h.Record(512);
+  h.Record(100000);  // overflow -> only the +Inf bucket grows
+  const FixedHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.bounds, (std::vector<int64_t>{8, 64, 512}));
+  // One cumulative count per bound plus the implicit +Inf bucket.
+  ASSERT_EQ(snap.cumulative.size(), snap.bounds.size() + 1);
+  EXPECT_EQ(snap.cumulative, (std::vector<int64_t>{2, 3, 4, 5}));
+  EXPECT_EQ(snap.total, 5);
+  EXPECT_EQ(snap.total, snap.cumulative.back());
+  EXPECT_EQ(snap.sum, 1 + 8 + 9 + 512 + 100000);
+}
+
 TEST(FixedHistogramTest, ExponentialBucketsShape) {
   const std::vector<int64_t> bounds = ExponentialBuckets(1, 4.0, 5);
   EXPECT_EQ(bounds, (std::vector<int64_t>{1, 4, 16, 64, 256}));
@@ -113,6 +130,41 @@ TEST(MetricsRegistryTest, GlobalIsStableAcrossCalls) {
   MetricsRegistry& a = MetricsRegistry::Global();
   MetricsRegistry& b = MetricsRegistry::Global();
   EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportFollowsTextFormat) {
+  MetricsRegistry registry;
+  registry.counter("queries.completed").Add(3);
+  registry.gauge("pool.threads").Set(2);
+  FixedHistogram& h = registry.histogram("query_ms", {1, 10});
+  h.Record(1);
+  h.Record(5);
+  h.Record(500);
+  const std::string text = registry.ExportPrometheusText();
+
+  // Counters: crashsim_ prefix, sanitised name, _total suffix, TYPE line.
+  EXPECT_NE(text.find("# TYPE crashsim_queries_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("crashsim_queries_completed_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE crashsim_pool_threads gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("crashsim_pool_threads 2"), std::string::npos);
+
+  // Histograms: cumulative buckets, closing +Inf, _sum and _count.
+  EXPECT_NE(text.find("# TYPE crashsim_query_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("crashsim_query_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("crashsim_query_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("crashsim_query_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("crashsim_query_ms_sum 506"), std::string::npos);
+  EXPECT_NE(text.find("crashsim_query_ms_count 3"), std::string::npos);
+  // Exposition ends with a newline (required by the 0.0.4 text format).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
 }
 
 }  // namespace

@@ -1,12 +1,28 @@
 #include "util/timer.h"
 
 #include <chrono>
+#include <cstdint>
 #include <thread>
+#include <type_traits>
 
 #include <gtest/gtest.h>
 
 namespace crashsim {
 namespace {
+
+// All elapsed-time measurement in the repo is pinned to the monotonic clock;
+// wall-clock (system_clock) jumps must never show up as negative durations.
+static_assert(std::is_same_v<Stopwatch::Clock, std::chrono::steady_clock>,
+              "Stopwatch must measure on steady_clock");
+
+TEST(SteadyNowNanosTest, NeverRunsBackwards) {
+  int64_t prev = SteadyNowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t now = SteadyNowNanos();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
 
 TEST(StopwatchTest, ElapsedIsMonotonic) {
   Stopwatch sw;

@@ -1,0 +1,245 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace crashsim {
+namespace {
+
+// Occurrences of `needle` in `hay` (non-overlapping).
+int CountOccurrences(const std::string& hay, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// This thread's recorded events (tests run single-threaded unless they
+// explicitly spawn work, so the first non-empty buffer is ours).
+std::vector<TraceEvent> OwnThreadEvents() {
+  for (TraceThreadEvents& t : SnapshotTraceEvents()) {
+    if (!t.events.empty()) return std::move(t.events);
+  }
+  return {};
+}
+
+TEST(TraceTest, DisabledByDefaultAndToggles) {
+  EXPECT_FALSE(TraceEnabled());
+  StartTracing();
+  EXPECT_TRUE(TraceEnabled());
+  StopTracing();
+  EXPECT_FALSE(TraceEnabled());
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  StartTracing();
+  StopTracing();  // resets buffers, leaves tracing off
+  {
+    TRACE_SPAN("never.recorded");
+  }
+  for (const TraceThreadEvents& t : SnapshotTraceEvents()) {
+    for (const TraceEvent& e : t.events) {
+      EXPECT_STRNE(e.name, "never.recorded");
+    }
+  }
+}
+
+TEST(TraceTest, BeginEndPairsAreBalancedAndNested) {
+  StartTracing();
+  {
+    TRACE_SPAN("outer");
+    {
+      TRACE_SPAN("inner");
+    }
+  }
+  StopTracing();
+  const std::vector<TraceEvent> events = OwnThreadEvents();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kBegin);
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].phase, TraceEvent::Phase::kBegin);
+  EXPECT_STREQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].phase, TraceEvent::Phase::kEnd);
+  EXPECT_STREQ(events[3].name, "outer");
+  EXPECT_EQ(events[3].phase, TraceEvent::Phase::kEnd);
+  // Timestamps are monotonic within the thread.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST(TraceTest, AggregateSplitsSelfFromTotal) {
+  StartTracing();
+  {
+    TRACE_SPAN("agg.outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      TRACE_SPAN("agg.inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  StopTracing();
+  const std::vector<TraceAggregateRow> rows = AggregateTrace();
+  const TraceAggregateRow* outer = nullptr;
+  const TraceAggregateRow* inner = nullptr;
+  for (const TraceAggregateRow& r : rows) {
+    if (r.name == "agg.outer") outer = &r;
+    if (r.name == "agg.inner") inner = &r;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1);
+  EXPECT_EQ(inner->count, 1);
+  // outer's total covers inner; outer's self excludes it exactly.
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner->total_ns);
+  // inner has no children: self == total, and it slept >= 10ms.
+  EXPECT_EQ(inner->self_ns, inner->total_ns);
+  EXPECT_GE(inner->total_ns, 9 * 1000 * 1000);
+  const std::string table = ExportTraceAggregateTable();
+  EXPECT_NE(table.find("agg.outer"), std::string::npos);
+  EXPECT_NE(table.find("self_ms"), std::string::npos);
+}
+
+TEST(TraceTest, ChromeExportIsBalancedJson) {
+  StartTracing();
+  {
+    TRACE_SPAN("chrome \"quoted\\name\"");  // exercises JSON escaping
+    TRACE_SPAN("chrome.second");
+  }
+  StopTracing();
+  const std::string json = ExportChromeTrace();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"B\""),
+            CountOccurrences(json, "\"ph\": \"E\""));
+  // The quote in the span name must be escaped, never bare inside a string.
+  EXPECT_NE(json.find("chrome \\\"quoted\\\\name\\\""), std::string::npos);
+  // Braces balance (cheap structural sanity without a JSON parser; the
+  // bench smoke lane runs the real parser via python).
+  EXPECT_EQ(CountOccurrences(json, "{"), CountOccurrences(json, "}"));
+}
+
+TEST(TraceTest, UnclosedSpanIsSynthesizedClosed) {
+  auto* leak = new TraceSpan("pre.start");  // never recorded: tracing off
+  StartTracing();
+  auto* open = new TraceSpan("left.open");
+  {
+    TRACE_SPAN("closed.child");
+  }
+  StopTracing();
+  const std::string json = ExportChromeTrace();
+  // The open span appears and the export is still balanced.
+  EXPECT_NE(json.find("left.open"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"B\""),
+            CountOccurrences(json, "\"ph\": \"E\""));
+  delete open;
+  delete leak;
+}
+
+TEST(TraceTest, ParallelForShardsCarryFlowEvents) {
+  StartTracing();
+  std::atomic<int64_t> sum{0};
+  // min_chunk 1 and an explicit 2-thread budget: even a single-core host's
+  // one-worker pool receives a shard, so a flow arrow must exist.
+  ParallelFor(
+      8, [&sum](int64_t begin, int64_t end) { sum.fetch_add(end - begin); },
+      /*min_chunk=*/1, /*max_threads=*/2);
+  StopTracing();
+  EXPECT_EQ(sum.load(), 8);
+
+  std::vector<uint64_t> flow_out_ids;
+  std::vector<uint64_t> flow_in_ids;
+  bool saw_shard_span = false;
+  for (const TraceThreadEvents& t : SnapshotTraceEvents()) {
+    for (const TraceEvent& e : t.events) {
+      if (e.phase == TraceEvent::Phase::kFlowOut) {
+        flow_out_ids.push_back(e.flow_id);
+      } else if (e.phase == TraceEvent::Phase::kFlowIn) {
+        flow_in_ids.push_back(e.flow_id);
+      } else if (e.phase == TraceEvent::Phase::kBegin &&
+                 std::string(e.name) == "parallel_for.shard") {
+        saw_shard_span = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_shard_span);
+  ASSERT_FALSE(flow_out_ids.empty());
+  ASSERT_FALSE(flow_in_ids.empty());
+  // Every shard-side arrow terminates one spawned by a ParallelFor call.
+  for (uint64_t id : flow_in_ids) {
+    EXPECT_NE(id, 0u);
+    EXPECT_NE(std::find(flow_out_ids.begin(), flow_out_ids.end(), id),
+              flow_out_ids.end());
+  }
+  // And the Chrome export renders them as s/f events sharing ids.
+  const std::string json = ExportChromeTrace();
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+}
+
+TEST(TraceTest, OverflowDropsEventsButStaysBalanced) {
+  StartTracing();
+  // 2 events per span against a 64Ki-event buffer: guaranteed overflow.
+  for (int i = 0; i < 40000; ++i) {
+    TRACE_SPAN("spam");
+  }
+  StopTracing();
+  EXPECT_GT(TraceDroppedEvents(), 0);
+  const std::string json = ExportChromeTrace();
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"B\""),
+            CountOccurrences(json, "\"ph\": \"E\""));
+  const std::string table = ExportTraceAggregateTable();
+  EXPECT_NE(table.find("dropped"), std::string::npos);
+}
+
+TEST(TraceTest, FlowHelpersNoOpWhenDisabledOrZero) {
+  StartTracing();
+  StopTracing();  // buffers reset and tracing off
+  TraceFlowOut(NewTraceFlowId());
+  TraceFlowIn(7);
+  StartTracing();
+  TraceFlowOut(0);  // id 0 = "tracing was off at id-mint time": no event
+  TraceFlowIn(0);
+  StopTracing();
+  for (const TraceThreadEvents& t : SnapshotTraceEvents()) {
+    for (const TraceEvent& e : t.events) {
+      EXPECT_NE(e.phase, TraceEvent::Phase::kFlowOut);
+      EXPECT_NE(e.phase, TraceEvent::Phase::kFlowIn);
+    }
+  }
+}
+
+TEST(TraceTest, DisabledSpanOverheadIsNanoseconds) {
+  StopTracing();
+  ASSERT_FALSE(TraceEnabled());
+  constexpr int kIters = 2'000'000;
+  // Best of three reps: the bound guards the order of magnitude (one relaxed
+  // load + branch ≈ 1-2 ns), not a precise figure; the minimum shields the
+  // guard from scheduler noise on loaded single-core CI hosts.
+  double best_ns = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    const Stopwatch sw;
+    for (int i = 0; i < kIters; ++i) {
+      TRACE_SPAN("overhead.probe");
+    }
+    best_ns = std::min(best_ns, sw.ElapsedSeconds() * 1e9 / kIters);
+  }
+  EXPECT_LT(best_ns, 30.0) << "disabled TRACE_SPAN must stay out of the "
+                              "hot-path cost model";
+}
+
+}  // namespace
+}  // namespace crashsim

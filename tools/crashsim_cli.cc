@@ -38,9 +38,11 @@
 #include "simrank/reads.h"
 #include "simrank/sling.h"
 #include "simrank/topk.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/timer.h"
 #include "util/top_k.h"
+#include "util/trace.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -116,6 +118,84 @@ std::unique_ptr<SimRankAlgorithm> MakeAlgorithm(const FlagSet& flags) {
 // "exact" is handled out-of-band (it is not a SimRankAlgorithm and needs the
 // n^2 guard rail of PowerMethodAllPairs).
 
+void DefineTraceFlags(FlagSet* flags) {
+  flags->DefineString("trace_out", "",
+                      "write a Chrome trace-event JSON timeline of this query "
+                      "(load in Perfetto / chrome://tracing; crashsim only)");
+  flags->DefineBool("trace_summary", false,
+                    "print the aggregated self/total time per span "
+                    "(crashsim only)");
+  flags->DefineString("metrics_out", "",
+                      "write process metrics in Prometheus text exposition "
+                      "format on exit");
+}
+
+// Scoped tracing for one CLI query: StartTracing() on construction when the
+// user asked for a trace, and on destruction — every exit path, including
+// deadline/cancel failures, where a timeline is most useful — StopTracing(),
+// write the Chrome JSON, and print the aggregate table. Write failures warn
+// on stderr without changing the exit code: the query outcome already
+// happened and stays authoritative.
+class ScopedCliTrace {
+ public:
+  ScopedCliTrace(std::string trace_out, bool summary)
+      : trace_out_(std::move(trace_out)), summary_(summary) {
+    if (enabled()) StartTracing();
+  }
+  ~ScopedCliTrace() {
+    if (!enabled()) return;
+    StopTracing();
+    if (!trace_out_.empty()) {
+      std::ofstream out(trace_out_);
+      if (out) out << ExportChromeTrace();
+      if (!out) {
+        std::fprintf(stderr, "warning: cannot write trace to %s\n",
+                     trace_out_.c_str());
+      }
+    }
+    if (summary_) std::printf("%s", ExportTraceAggregateTable().c_str());
+  }
+  bool enabled() const { return !trace_out_.empty() || summary_; }
+
+  ScopedCliTrace(const ScopedCliTrace&) = delete;
+  ScopedCliTrace& operator=(const ScopedCliTrace&) = delete;
+
+ private:
+  std::string trace_out_;
+  bool summary_;
+};
+
+// Dumps the process-wide registry (Prometheus text exposition format) to
+// `path` on scope exit; empty path = disabled. Scoped for the same reason as
+// the tracer: error exits still produce the file.
+class ScopedMetricsExport {
+ public:
+  explicit ScopedMetricsExport(std::string path) : path_(std::move(path)) {}
+  ~ScopedMetricsExport() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (out) out << MetricsRegistry::Global().ExportPrometheusText();
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                   path_.c_str());
+    }
+  }
+
+  ScopedMetricsExport(const ScopedMetricsExport&) = delete;
+  ScopedMetricsExport& operator=(const ScopedMetricsExport&) = delete;
+
+ private:
+  std::string path_;
+};
+
+// CLI query latency lands in the process registry so --metrics_out always
+// has a histogram to expose.
+void RecordCliQueryMillis(double ms) {
+  static FixedHistogram& h = MetricsRegistry::Global().histogram(
+      "cli.query_ms", ExponentialBuckets(1, 2.0, 14));
+  h.Record(static_cast<int64_t>(ms));
+}
+
 // Renders the per-query observability record the way the caller asked:
 // --stats prints the human table, --stats_json one line of the stable
 // crashsim.query_stats.v1 schema (docs/OBSERVABILITY.md). Both may be set.
@@ -154,7 +234,20 @@ int RunTopK(int argc, char** argv) {
   flags.DefineBool("stats_json", false,
                    "print per-query stats as one JSON line (crashsim only)");
   DefineAlgoFlags(&flags);
+  DefineTraceFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
+
+  const bool want_trace = !flags.GetString("trace_out").empty() ||
+                          flags.GetBool("trace_summary");
+  if (want_trace && flags.GetString("algo") != "crashsim") {
+    return FailStatus(InvalidArgumentError(
+        "--trace_out/--trace_summary require --algo crashsim"));
+  }
+  // Constructed before the graph load so the timeline includes
+  // graph_io.load_edge_list; destroyed (exported) after the result prints.
+  const ScopedCliTrace tracer(flags.GetString("trace_out"),
+                              flags.GetBool("trace_summary"));
+  const ScopedMetricsExport metrics_export(flags.GetString("metrics_out"));
 
   const auto loaded_or = LoadEdgeListFile(flags.GetString("graph"),
                                           flags.GetBool("undirected"));
@@ -183,7 +276,7 @@ int RunTopK(int argc, char** argv) {
   const int64_t timeout_ms = flags.GetInt("timeout_ms");
   const bool want_stats =
       flags.GetBool("stats") || flags.GetBool("stats_json");
-  if (timeout_ms > 0 || want_stats) {
+  if (timeout_ms > 0 || want_stats || want_trace) {
     if (flags.GetString("algo") != "crashsim") {
       return FailStatus(InvalidArgumentError(
           timeout_ms > 0 ? "--timeout_ms requires --algo crashsim"
@@ -213,6 +306,7 @@ int RunTopK(int argc, char** argv) {
     const Stopwatch query_timer;
     const PartialResult result = algo.SingleSource(source, &*ctx);
     const double elapsed = query_timer.ElapsedSeconds();
+    RecordCliQueryMillis(elapsed * 1e3);
     if (result.scores.empty()) return FailStatus(result.status);
     TopK<NodeId> selector(static_cast<size_t>(flags.GetInt("k")));
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -297,7 +391,18 @@ int RunTemporal(int argc, char** argv) {
       "stats_json", false,
       "print per-query stats as one JSON line (crashsim-t only)");
   DefineAlgoFlags(&flags);
+  DefineTraceFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
+
+  const bool want_trace = !flags.GetString("trace_out").empty() ||
+                          flags.GetBool("trace_summary");
+  if (want_trace && flags.GetString("engine") != "crashsim-t") {
+    return FailStatus(InvalidArgumentError(
+        "--trace_out/--trace_summary require --engine crashsim-t"));
+  }
+  const ScopedCliTrace tracer(flags.GetString("trace_out"),
+                              flags.GetBool("trace_summary"));
+  const ScopedMetricsExport metrics_export(flags.GetString("metrics_out"));
 
   const auto loaded_or = LoadTemporalEdgeListFile(flags.GetString("graph"),
                                                   flags.GetBool("undirected"));
@@ -357,7 +462,7 @@ int RunTemporal(int argc, char** argv) {
                                                     : RevReachMode::kCorrected;
     opt.crashsim.num_threads = static_cast<int>(flags.GetInt("threads"));
     CrashSimT e(opt);
-    if (timeout_ms > 0 || want_stats) {
+    if (timeout_ms > 0 || want_stats || want_trace) {
       // The observability sink lives on the QueryContext, so --stats routes
       // through the context-aware path even without a deadline.
       std::optional<QueryContext> ctx;
@@ -395,6 +500,7 @@ int RunTemporal(int argc, char** argv) {
     return FailStatus(InvalidArgumentError("unknown --engine " + engine));
   }
 
+  RecordCliQueryMillis(query_timer.ElapsedSeconds() * 1e3);
   std::printf("%zu nodes satisfy the %s query over snapshots [%d, %d]:\n",
               answer.nodes.size(), kind.c_str(), query.begin_snapshot,
               query.end_snapshot);

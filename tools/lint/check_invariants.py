@@ -25,6 +25,13 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and suppression policy):
                        diagnostics go through util/logging.h (the one
                        exempted module, which owns the terminal sink).
 
+  trace-span-literal   Every TRACE_SPAN(...) name must be a compile-time
+                       string literal: the tracer (util/trace.h) stores the
+                       char* without copying — a dynamic name dangles by
+                       export time, and literal names are what the
+                       aggregated self/total table keys on. Applies to
+                       src/**.
+
 Suppression: append  // lint:allow(<rule-id>): <justification>  to the
 offending line, or put it on a comment-only line immediately above. The
 justification is mandatory — a bare allow is an error.
@@ -57,7 +64,8 @@ THREAD_PRIMITIVE_RE = re.compile(
     r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
     r"condition_variable|condition_variable_any)\b"
 )
-THREAD_EXEMPT = ("src/util/parallel.", "src/util/metrics.")
+THREAD_EXEMPT = ("src/util/parallel.", "src/util/metrics.",
+                 "src/util/trace.")
 
 # rand() takes no arguments and C time() is called as time(NULL / nullptr /
 # 0 / &var), so matching those call shapes keeps members *named* time(...)
@@ -74,6 +82,13 @@ IOSTREAM_RE = re.compile(
     r"(?<![\w.])(?:std::)?f?printf\s*\("
 )
 IOSTREAM_EXEMPT = ("src/util/logging.",)
+
+# A TRACE_SPAN call and its argument list. strip_comments_and_strings blanks
+# literal *contents* but keeps the quote characters, so a compliant call
+# reduces to TRACE_SPAN("   ") — anything whose argument does not start with
+# a double quote is a non-literal name. Preprocessor lines (the macro's own
+# definition) are skipped by the caller.
+TRACE_SPAN_RE = re.compile(r"\bTRACE_SPAN\s*\(\s*([^)]*)\)")
 
 
 def strip_comments_and_strings(line):
@@ -213,6 +228,15 @@ class Linter:
                     "library code must not write to stdout/stderr (%r); "
                     "return Status or use util/logging.h"
                     % m.group(0).strip(), raw, prev_raw)
+
+        if rel.startswith("src/") and not code.lstrip().startswith("#"):
+            m = TRACE_SPAN_RE.search(code)
+            if m and not m.group(1).strip().startswith('"'):
+                self.report(
+                    rel, lineno, "trace-span-literal",
+                    "TRACE_SPAN name must be a string literal — the tracer "
+                    "keeps the char* without copying (util/trace.h)", raw,
+                    prev_raw)
 
     def run(self, paths=None):
         if paths:

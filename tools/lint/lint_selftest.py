@@ -22,6 +22,7 @@ EXPECTED_DIRTY = {
     ("src/simrank/bad_status.h", "nodiscard-status"): 3,
     ("src/graph/bad_thread.cc", "thread-primitives"): 2,
     ("src/eval/bad_iostream.cc", "iostream-write"): 3,
+    ("src/core/bad_trace.cc", "trace-span-literal"): 2,
 }
 
 FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")

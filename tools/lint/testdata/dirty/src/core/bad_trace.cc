@@ -1,0 +1,18 @@
+// Fixture: TRACE_SPAN with a non-literal name must produce a
+// trace-span-literal finding — the tracer stores the char* without copying.
+
+#include <string>
+
+#define TRACE_SPAN(name) (void)(name)
+
+namespace crashsim {
+
+void TraceWithVariable(const char* phase_name) {
+  TRACE_SPAN(phase_name);  // MUST-FAIL
+}
+
+void TraceWithDynamicString(const std::string& label) {
+  TRACE_SPAN(label.c_str());  // MUST-FAIL
+}
+
+}  // namespace crashsim

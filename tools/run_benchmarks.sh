@@ -3,13 +3,22 @@
 # BENCH_*.json so the perf trajectory of the repo is tracked over time, not
 # asserted once.
 #
-#   tools/run_benchmarks.sh [--smoke] [--build-dir DIR] [--out-dir DIR]
+#   tools/run_benchmarks.sh [--smoke] [--check] [--update-baseline]
+#                           [--build-dir DIR] [--out-dir DIR]
 #
 #   --smoke      run a fast subset of bench_micro with a tiny measurement
 #                budget — seconds, not minutes; used as a ctest so CI keeps
 #                the --json path exercised and the schema stable. Also runs
 #                an instrumented crashsim_cli query and validates the
-#                crashsim.query_stats.v1 schema end to end.
+#                crashsim.query_stats.v1 schema, the Chrome trace export,
+#                and the Prometheus metrics export end to end.
+#   --check      after the run, compare ns/op against the committed
+#                <repo>/BENCH_baseline.json with tools/compare_bench.py and
+#                fail on regressions beyond BENCH_CHECK_THRESHOLD (default
+#                0.25 = +25%). Bumps the smoke measurement budget so the
+#                numbers are stable enough to gate on.
+#   --update-baseline  rewrite <repo>/BENCH_baseline.json from this run
+#                (same measurement budget as --check); commit the result.
 #   --build-dir  build tree containing bench/bench_micro (default: the
 #                BUILD_DIR environment variable, then <repo>/build)
 #   --out-dir    where BENCH_*.json lands (default: the build dir)
@@ -23,16 +32,34 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 OUT_DIR=""
 SMOKE=0
+CHECK=0
+UPDATE_BASELINE=0
+BASELINE="${REPO_ROOT}/BENCH_baseline.json"
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1; shift ;;
+    --check) CHECK=1; shift ;;
+    --update-baseline) UPDATE_BASELINE=1; shift ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out-dir) OUT_DIR="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 1 ;;
   esac
 done
 OUT_DIR="${OUT_DIR:-${BUILD_DIR}}"
+
+# Compares `$1` (a bench_micro --json file) against the committed baseline;
+# called at the end of whichever mode ran. The threshold is overridable so a
+# noisy host can temporarily loosen the gate without editing the script.
+check_against_baseline() {
+  if [[ ! -f "${BASELINE}" ]]; then
+    echo "--check: baseline ${BASELINE} not found" >&2
+    exit 1
+  fi
+  python3 "${REPO_ROOT}/tools/compare_bench.py" \
+    --baseline "${BASELINE}" --current "$1" \
+    --threshold "${BENCH_CHECK_THRESHOLD:-0.25}"
+}
 
 BENCH_MICRO="${BUILD_DIR}/bench/bench_micro"
 if [[ ! -x "${BENCH_MICRO}" ]]; then
@@ -43,12 +70,19 @@ mkdir -p "${OUT_DIR}"
 
 if [[ "${SMOKE}" -eq 1 ]]; then
   # Small-graph subset, minimal measurement time: validates the --json
-  # schema end to end without a real measurement budget.
+  # schema end to end without a real measurement budget. When the run feeds
+  # the perf gate (or refreshes its baseline) the budget grows so ns/op is a
+  # measurement rather than a single-iteration sample.
   OUT="${OUT_DIR}/BENCH_micro_smoke.json"
+  MIN_TIME=0.01
+  if [[ "${CHECK}" -eq 1 || "${UPDATE_BASELINE}" -eq 1 ]]; then
+    MIN_TIME=0.05
+  fi
   "${BENCH_MICRO}" \
     --benchmark_filter='(BM_BuildRevReach(Paper|Corrected)|BM_TreeProbability(Hit|Miss))/1000$' \
-    --benchmark_min_time=0.01 \
-    --json "${OUT}"
+    --benchmark_min_time="${MIN_TIME}" \
+    --json "${OUT}" \
+    --trace_out "${OUT_DIR}/BENCH_trace_smoke.json"
   # The smoke run doubles as a schema check: every record must carry the
   # stable keys tools and CI consume, including the instrumented-query probe
   # record's query_stats blob.
@@ -107,6 +141,52 @@ for path in sys.argv[1:]:
                 assert value >= 0, (path, key, value)
 print("query_stats schema OK")
 PY
+
+  # Execution-tracing end to end: a traced 2-thread topk query must produce
+  # a balanced Chrome trace with the revReach / trial-block / ParallelFor
+  # shard spans and the flow events tying shards to their spawning call, and
+  # --metrics_out must pass the Prometheus format checker. The bench_micro
+  # --trace_out timeline written above gets the same structural validation.
+  "${CLI}" topk --graph "${TMP_DIR}/tiny.el" --source "${SRC}" --k 5 \
+    --trials 200 --threads 2 --trace_out "${TMP_DIR}/topk_trace.json" \
+    --metrics_out "${TMP_DIR}/metrics.txt" > /dev/null
+  python3 - "${TMP_DIR}/topk_trace.json" \
+    "${OUT_DIR}/BENCH_trace_smoke.json" <<'PY'
+import json, sys
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace["traceEvents"]
+    assert events, path
+    depth = {}
+    for e in events:
+        assert e["ph"] in ("B", "E", "s", "f"), (path, e)
+        if e["ph"] == "B":
+            depth[e["tid"]] = depth.get(e["tid"], 0) + 1
+        elif e["ph"] == "E":
+            depth[e["tid"]] = depth.get(e["tid"], 0) - 1
+            assert depth[e["tid"]] >= 0, (path, e)
+    assert all(v == 0 for v in depth.values()), (path, depth)
+    names = {e["name"] for e in events if e["ph"] == "B"}
+    for want in ("rev_reach.build", "crashsim.trial_block", "parallel_for",
+                 "parallel_for.shard"):
+        assert want in names, (path, want, sorted(names))
+    out_ids = {e["id"] for e in events if e["ph"] == "s"}
+    in_ids = {e["id"] for e in events if e["ph"] == "f"}
+    assert out_ids, path
+    assert in_ids <= out_ids, (path, in_ids - out_ids)
+print("chrome trace OK")
+PY
+  python3 "${REPO_ROOT}/tools/check_prometheus.py" "${TMP_DIR}/metrics.txt"
+
+  if [[ "${UPDATE_BASELINE}" -eq 1 ]]; then
+    cp "${OUT}" "${BASELINE}"
+    echo "baseline updated: ${BASELINE}"
+  fi
+  if [[ "${CHECK}" -eq 1 ]]; then
+    check_against_baseline "${OUT}"
+  fi
   echo "smoke OK: $(grep -c '"bench"' "${OUT}") records in ${OUT}"
   exit 0
 fi
@@ -119,4 +199,11 @@ for b in bench_scaling bench_table2_example; do
     "${BIN}" --csv "${OUT_DIR}/BENCH_${b#bench_}.csv" || true
   fi
 done
+if [[ "${UPDATE_BASELINE}" -eq 1 ]]; then
+  echo "--update-baseline refreshes the smoke baseline; rerun with --smoke" >&2
+  exit 1
+fi
+if [[ "${CHECK}" -eq 1 ]]; then
+  check_against_baseline "${OUT_DIR}/BENCH_micro.json"
+fi
 echo "results in ${OUT_DIR}/BENCH_*.json and BENCH_*.csv"
