@@ -7,6 +7,7 @@
 
 #include "core/query_stats.h"
 #include "simrank/walk.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -209,7 +210,19 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
   }
   TRACE_SPAN("crashsim.partial");
   const int l_max = tree.max_level();
-  const int64_t n_r = TrialsFor(g.num_nodes());
+  int64_t n_r = TrialsFor(g.num_nodes());
+  if (ctx != nullptr) {
+    // Executor degradation (docs/ROBUSTNESS.md): under load the trial
+    // budget shrinks by the context's fraction; never below one trial so
+    // the anytime bound still holds, and epsilon_achieved reports the
+    // looser guarantee of the shrunken budget.
+    const double fraction = ctx->trial_fraction();
+    if (fraction < 1.0) {
+      n_r = std::max<int64_t>(
+          1, static_cast<int64_t>(static_cast<double>(n_r) *
+                                  std::max(0.0, fraction)));
+    }
+  }
   const bool corrected = options_.mode == RevReachMode::kCorrected;
   CRASHSIM_CHECK(!corrected || !diag_.empty())
       << "corrected mode requires Bind() to estimate d(w)";
@@ -276,6 +289,14 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
   int64_t done = 0;
   int64_t block = 1;
   constexpr int64_t kMaxBlock = 64;
+  // Block-granular rollback state for injected faults: a shard that dies
+  // mid-block leaves partial crash mass in result.scores, so when
+  // failpoints are armed each block snapshots the accumulators first and a
+  // failing block restores them — the partial answer stays the exact result
+  // of `done` full trials. Allocated only while failpoints are enabled.
+  std::vector<double> scores_backup;
+  std::vector<int64_t> walk_steps_backup;
+  std::vector<int64_t> crash_hits_backup;
   while (done < n_r) {
     if (ctx != nullptr && done > 0) {
       if (Status s = ctx->Check(); !s.ok()) {
@@ -283,19 +304,48 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
         break;
       }
     }
+    if (Status s = CRASHSIM_FAILPOINT("crashsim.trial_block"); !s.ok()) {
+      result.status = s;
+      break;
+    }
     const int64_t batch = std::min(block, n_r - done);
     TRACE_SPAN("crashsim.trial_block");
     if (options_.num_threads > 1) {
-      ParallelFor(
-          static_cast<int64_t>(candidates.size()),
-          [&](int64_t begin, int64_t end) {
-            std::vector<NodeId> walk;
-            for (int64_t ci = begin; ci < end; ++ci) {
-              if (candidates[static_cast<size_t>(ci)] == u) continue;
-              run_trials(static_cast<size_t>(ci), batch, &walk);
-            }
-          },
-          /*min_chunk=*/8, options_.num_threads);
+      const bool rollback_armed = FailpointsEnabled();
+      if (rollback_armed) {
+        scores_backup = result.scores;
+        walk_steps_backup = walk_steps;
+        crash_hits_backup = crash_hits;
+      }
+      try {
+        ParallelFor(
+            static_cast<int64_t>(candidates.size()),
+            [&](int64_t begin, int64_t end) {
+              std::vector<NodeId> walk;
+              for (int64_t ci = begin; ci < end; ++ci) {
+                if (candidates[static_cast<size_t>(ci)] == u) continue;
+                run_trials(static_cast<size_t>(ci), batch, &walk);
+              }
+            },
+            /*min_chunk=*/8, options_.num_threads);
+      } catch (const StatusException& e) {
+        if (rollback_armed) {
+          result.scores = scores_backup;
+          walk_steps = walk_steps_backup;
+          crash_hits = crash_hits_backup;
+        }
+        result.status = e.status();
+        break;
+      } catch (const std::bad_alloc&) {
+        if (rollback_armed) {
+          result.scores = scores_backup;
+          walk_steps = walk_steps_backup;
+          crash_hits = crash_hits_backup;
+        }
+        result.status =
+            ResourceExhaustedError("out of memory during CrashSim trial block");
+        break;
+      }
     } else {
       std::vector<NodeId> walk;
       for (size_t ci = 0; ci < candidates.size(); ++ci) {

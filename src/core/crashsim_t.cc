@@ -6,6 +6,7 @@
 
 #include "core/query_stats.h"
 #include "graph/snapshot_diff.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -321,6 +322,10 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
         answer.status = s.WithContext(StrFormat("snapshot %d", t));
         break;
       }
+    }
+    if (Status s = CRASHSIM_FAILPOINT("crashsim_t.snapshot"); !s.ok()) {
+      answer.status = s.WithContext(StrFormat("snapshot %d", t));
+      break;
     }
     // Baselines for this snapshot's per-rule deltas (per-snapshot entry
     // appended once the snapshot completes).

@@ -11,7 +11,8 @@
 
 namespace crashsim {
 
-struct QueryStats;  // core/query_stats.h
+class MemoryBudget;  // util/memory_budget.h
+struct QueryStats;   // core/query_stats.h
 
 // Per-query lifecycle control: a steady-clock deadline, a cooperative
 // cancellation flag, trial-progress counters a monitoring thread can poll,
@@ -73,13 +74,34 @@ class QueryContext {
   void set_stats(QueryStats* stats) { stats_ = stats; }
   QueryStats* stats() const { return stats_; }
 
+  // Degradation knob, set by the QueryExecutor before the query starts (or
+  // left at 1.0): engines scale their planned trial budget by this fraction
+  // (never below one trial) and report the looser epsilon_achieved. Atomic
+  // so a monitor may read it while the query runs; engines read it once at
+  // planning time, so mid-query writes only affect later queries.
+  void set_trial_fraction(double fraction) {
+    trial_fraction_.store(fraction, std::memory_order_relaxed);
+  }
+  double trial_fraction() const {
+    return trial_fraction_.load(std::memory_order_relaxed);
+  }
+
+  // Optional per-query memory accountant (util/memory_budget.h), borrowed —
+  // it must outlive the query. Allocation-heavy stages (revReach builds)
+  // charge it and surface kResourceExhausted when the budget is crossed.
+  // Set before the query starts, like the stats sink.
+  void set_memory_budget(MemoryBudget* budget) { memory_budget_ = budget; }
+  MemoryBudget* memory_budget() const { return memory_budget_; }
+
  private:
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> trials_done_{0};
   std::atomic<int64_t> trials_target_{0};
+  std::atomic<double> trial_fraction_{1.0};
   QueryStats* stats_ = nullptr;
+  MemoryBudget* memory_budget_ = nullptr;
 };
 
 // An anytime single-source / partial SimRank answer. When the query ran to

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include <new>
+
 #include "core/query_stats.h"
 #include "simrank/simrank.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/memory_budget.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -71,22 +76,57 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
                                              RevReachMode mode,
                                              double prune_threshold,
                                              const QueryContext* ctx) {
+  // Loader-OOM contract (docs/ROBUSTNESS.md): allocation failures below —
+  // real ones or bad_alloc injected through the rev_reach.alloc failpoint —
+  // are caught at the end of this function and surface as a clean
+  // kResourceExhausted with the byte estimate, never as a crash.
+  try {
   RETURN_IF_ERROR(ValidateNodeId(u, g.num_nodes(), "source"));
   CRASHSIM_CHECK_GE(l_max, 0);
   TRACE_SPAN("rev_reach.build");
+  RETURN_IF_ERROR(CRASHSIM_FAILPOINT("rev_reach.build"));
   const Stopwatch build_timer;
   const double sqrt_c = std::sqrt(c);
   const NodeId n = g.num_nodes();
 
+  // Per-query memory accounting (util/memory_budget.h): the O(n) build
+  // scratch is charged up front and refunded when the build ends; the
+  // tree's own bytes are charged level by level and stay charged on success
+  // (the tree outlives the build — the per-query budget is torn down with
+  // the query). Every error path refunds through the RAII guards.
+  MemoryBudget* budget = ctx != nullptr ? ctx->memory_budget() : nullptr;
+  const int64_t scratch_bytes =
+      static_cast<int64_t>(n) *
+      static_cast<int64_t>(sizeof(float) + 3 * sizeof(NodeId));
+  int64_t scratch_charged = 0;
+  int64_t tree_charged = 0;
+  ScopedBudgetRelease scratch_release(budget, &scratch_charged);
+  ScopedBudgetRelease tree_release(budget, &tree_charged);
+  if (budget != nullptr) {
+    RETURN_IF_ERROR(budget->Charge(scratch_bytes, "revReach build scratch"));
+    scratch_charged = scratch_bytes;
+  }
   ReverseReachableTree tree;
   tree.n_ = n;
   tree.source_ = u;
   tree.level_offsets_.reserve(static_cast<size_t>(l_max) + 2);
   tree.level_offsets_.push_back(0);
 
+  // Charges the growth of the tree's footprint since the last call; *not*
+  // charged: transient frontier/level buffers (covered by the scratch term).
+  auto charge_tree_growth = [&]() -> Status {
+    if (budget == nullptr) return OkStatus();
+    const int64_t now_bytes = tree.MemoryBytes();
+    if (now_bytes <= tree_charged) return OkStatus();
+    RETURN_IF_ERROR(budget->Charge(now_bytes - tree_charged, "revReach tree"));
+    tree_charged = now_bytes;
+    return OkStatus();
+  };
+
   // O(n) build scratch, reset lazily through the touched list: cur[v]
   // accumulates the level being built (float, double-precision products —
   // the exact arithmetic the dense representation used).
+  RETURN_IF_ERROR(CRASHSIM_FAILPOINT("rev_reach.alloc"));
   std::vector<float> cur(static_cast<size_t>(n), 0.0f);
   // first_parent[v] = first contributor to v on the level being built; -1
   // when untouched.
@@ -150,6 +190,7 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
     std::sort(level_entries.begin(), level_entries.end(),
               [](const auto& a, const auto& b) { return a.node < b.node; });
     tree.AppendLevel(level_entries);
+    RETURN_IF_ERROR(charge_tree_growth());
     parent_of.swap(next_parent_of);
     frontier.swap(level_entries);
   }
@@ -158,6 +199,18 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
   while (tree.max_level() < l_max) tree.AppendLevel({});
   tree.entries_.shrink_to_fit();
   tree.level_bits_.shrink_to_fit();
+  if (budget != nullptr) {
+    // shrink_to_fit may have returned capacity; settle the charge to the
+    // final footprint, then keep it charged for the query's lifetime.
+    const int64_t final_bytes = tree.MemoryBytes();
+    if (final_bytes < tree_charged) {
+      budget->Release(tree_charged - final_bytes);
+      tree_charged = final_bytes;
+    } else {
+      RETURN_IF_ERROR(charge_tree_growth());
+    }
+    tree_release.Dismiss();
+  }
   // Observability: every context-aware build reports into the query's stats
   // sink (tree_entries/bytes/levels keep the most recent build; builds and
   // build time accumulate — see query_stats.h).
@@ -170,6 +223,14 @@ StatusOr<ReverseReachableTree> BuildRevReach(const Graph& g, NodeId u,
     qs.tree_levels = tree.num_levels();
   }
   return tree;
+  } catch (const std::bad_alloc&) {
+    return ResourceExhaustedError(StrFormat(
+        "out of memory building revReach tree for source %lld "
+        "(n=%lld nodes, ~%lld bytes of build scratch)",
+        static_cast<long long>(u), static_cast<long long>(g.num_nodes()),
+        static_cast<long long>(g.num_nodes()) *
+            static_cast<long long>(sizeof(float) + 3 * sizeof(NodeId))));
+  }
 }
 
 }  // namespace crashsim

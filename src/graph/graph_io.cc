@@ -1,12 +1,15 @@
 #include "graph/graph_io.h"
 
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <map>
+#include <new>
 #include <ostream>
 #include <sstream>
 
 #include "graph/graph_builder.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 #include "util/trace.h"
 
@@ -94,27 +97,53 @@ Status CheckEdgeLimit(int64_t edges, const EdgeListLimits& limits,
   return OkStatus();
 }
 
+// Loader-OOM contract (docs/ROBUSTNESS.md): allocation failure while
+// buffering `path` surfaces as kResourceExhausted with the byte counts,
+// never as an uncaught std::bad_alloc.
+Status LoadOutOfMemoryError(const std::string& path, const char* stage) {
+  std::error_code ec;
+  const auto file_bytes = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return ResourceExhaustedError(
+        StrFormat("out of memory %s %s", stage, path.c_str()));
+  }
+  return ResourceExhaustedError(
+      StrFormat("out of memory %s %s (file is %lld bytes)", stage,
+                path.c_str(), static_cast<long long>(file_bytes)));
+}
+
 }  // namespace
 
 StatusOr<std::vector<std::pair<int64_t, int64_t>>> ReadEdgeList(
     std::istream& in, const EdgeListLimits& limits) {
+  RETURN_IF_ERROR(CRASHSIM_FAILPOINT("graph_io.load"));
   std::vector<std::pair<int64_t, int64_t>> edges;
   std::string line;
   int lineno = 0;
   std::vector<int64_t> fields;
-  while (std::getline(in, line)) {
-    ++lineno;
-    RETURN_IF_ERROR(
-        ParseLineFields(line, lineno, 2, "src dst", limits, &fields));
-    if (fields.empty()) continue;
-    if (fields[0] < 0 || fields[1] < 0) {
-      return InvalidArgumentError(StrFormat(
-          "line %d: negative node id %lld", lineno,
-          static_cast<long long>(fields[0] < 0 ? fields[0] : fields[1])));
+  try {
+    while (std::getline(in, line)) {
+      ++lineno;
+      RETURN_IF_ERROR(
+          ParseLineFields(line, lineno, 2, "src dst", limits, &fields));
+      if (fields.empty()) continue;
+      if (fields[0] < 0 || fields[1] < 0) {
+        return InvalidArgumentError(StrFormat(
+            "line %d: negative node id %lld", lineno,
+            static_cast<long long>(fields[0] < 0 ? fields[0] : fields[1])));
+      }
+      RETURN_IF_ERROR(CRASHSIM_FAILPOINT("graph_io.alloc"));
+      edges.emplace_back(fields[0], fields[1]);
+      RETURN_IF_ERROR(
+          CheckEdgeLimit(static_cast<int64_t>(edges.size()), limits, lineno));
     }
-    edges.emplace_back(fields[0], fields[1]);
-    RETURN_IF_ERROR(
-        CheckEdgeLimit(static_cast<int64_t>(edges.size()), limits, lineno));
+  } catch (const std::bad_alloc&) {
+    return ResourceExhaustedError(StrFormat(
+        "line %d: out of memory buffering edge list (~%lld bytes for %lld "
+        "edges so far)",
+        lineno,
+        static_cast<long long>(edges.capacity() * sizeof(edges.front())),
+        static_cast<long long>(edges.size())));
   }
   RETURN_IF_ERROR(CheckStreamHealthy(in));
   return edges;
@@ -129,23 +158,27 @@ StatusOr<LoadedGraph> LoadEdgeListFile(const std::string& path,
   StatusOr<std::vector<std::pair<int64_t, int64_t>>> raw =
       ReadEdgeList(in, limits);
   if (!raw.ok()) return raw.status().WithContext(path);
-  IdRemapper remap;
-  std::vector<Edge> edges;
-  edges.reserve(raw->size());
-  for (const auto& [src, dst] : *raw) {
-    edges.push_back(Edge{remap.Map(src), remap.Map(dst)});
-    if (limits.max_nodes > 0 &&
-        static_cast<int64_t>(remap.size()) > limits.max_nodes) {
-      return ResourceExhaustedError(
-                 StrFormat("node limit exceeded (max_nodes = %lld)",
-                           static_cast<long long>(limits.max_nodes)))
-          .WithContext(path);
+  try {
+    IdRemapper remap;
+    std::vector<Edge> edges;
+    edges.reserve(raw->size());
+    for (const auto& [src, dst] : *raw) {
+      edges.push_back(Edge{remap.Map(src), remap.Map(dst)});
+      if (limits.max_nodes > 0 &&
+          static_cast<int64_t>(remap.size()) > limits.max_nodes) {
+        return ResourceExhaustedError(
+                   StrFormat("node limit exceeded (max_nodes = %lld)",
+                             static_cast<long long>(limits.max_nodes)))
+            .WithContext(path);
+      }
     }
+    LoadedGraph out;
+    out.graph = BuildGraph(remap.size(), edges, undirected);
+    out.original_ids = remap.TakeOriginals();
+    return out;
+  } catch (const std::bad_alloc&) {
+    return LoadOutOfMemoryError(path, "building graph from");
   }
-  LoadedGraph out;
-  out.graph = BuildGraph(remap.size(), edges, undirected);
-  out.original_ids = remap.TakeOriginals();
-  return out;
 }
 
 void WriteEdgeList(const Graph& g, std::ostream& out) {
@@ -157,8 +190,12 @@ void WriteEdgeList(const Graph& g, std::ostream& out) {
 StatusOr<LoadedTemporalGraph> LoadTemporalEdgeListFile(
     const std::string& path, bool undirected, const EdgeListLimits& limits) {
   TRACE_SPAN("graph_io.load_temporal_edge_list");
+  if (Status s = CRASHSIM_FAILPOINT("graph_io.load"); !s.ok()) {
+    return s.WithContext(path);
+  }
   std::ifstream in(path);
   if (!in) return NotFoundError("cannot open " + path);
+  try {
   std::string line;
   int lineno = 0;
   int64_t rows = 0;
@@ -174,6 +211,9 @@ StatusOr<LoadedTemporalGraph> LoadTemporalEdgeListFile(
       return s.WithContext(path);
     }
     if (fields.empty()) continue;
+    if (Status s = CRASHSIM_FAILPOINT("graph_io.alloc"); !s.ok()) {
+      return s.WithContext(path);
+    }
     if (fields[0] < 0 || fields[1] < 0) {
       return InvalidArgumentError(
                  StrFormat("line %d: negative node id %lld", lineno,
@@ -210,6 +250,9 @@ StatusOr<LoadedTemporalGraph> LoadTemporalEdgeListFile(
   out.graph = builder.Build();
   out.original_ids = remap.TakeOriginals();
   return out;
+  } catch (const std::bad_alloc&) {
+    return LoadOutOfMemoryError(path, "loading temporal edge list");
+  }
 }
 
 void WriteTemporalEdgeList(const TemporalGraph& tg, std::ostream& out) {

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "simrank/walk.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace crashsim {
 
@@ -94,6 +96,79 @@ std::vector<double> ProbeSim::SingleSource(NodeId u) {
   for (double& s : scores) s *= inv;
   scores[static_cast<size_t>(u)] = 1.0;
   return scores;
+}
+
+PartialResult ProbeSim::SingleSource(NodeId u, QueryContext* ctx) {
+  PartialResult result;
+  if (Status s = options_.Validate(); !s.ok()) {
+    result.status = s;
+    return result;
+  }
+  const Graph& g = *graph();
+  if (Status s = ValidateNodeId(u, g.num_nodes(), "source"); !s.ok()) {
+    result.status = s;
+    return result;
+  }
+  const NodeId n = g.num_nodes();
+  const int64_t full_target = TrialsFor(n);
+  int64_t trials = full_target;
+  if (ctx != nullptr) {
+    const double fraction = ctx->trial_fraction();
+    if (fraction < 1.0) {
+      trials = std::max<int64_t>(
+          1, static_cast<int64_t>(static_cast<double>(trials) *
+                                  std::max(0.0, fraction)));
+    }
+  }
+  result.trials_target = trials;
+  result.scores.assign(static_cast<size_t>(n), 0.0);
+
+  // Trial blocks grow 1, 2, 4, ..., 64, checkpointing the context only
+  // *between* blocks (mirrors CrashSim::PartialWithTree): the first
+  // checkpoint lands after one trial so an expired deadline still yields a
+  // non-empty partial answer, and the member RNG advances sequentially so
+  // the partial prefix is bit-identical to a fresh run of trials_done
+  // trials.
+  std::vector<NodeId> walk;
+  int64_t done = 0;
+  int64_t block = 1;
+  constexpr int64_t kMaxBlock = 64;
+  while (done < trials) {
+    if (ctx != nullptr && done > 0) {
+      if (Status s = ctx->Check(); !s.ok()) {
+        result.status = s;
+        break;
+      }
+    }
+    if (Status s = CRASHSIM_FAILPOINT("probesim.trial_block"); !s.ok()) {
+      result.status = s;
+      break;
+    }
+    const int64_t batch = std::min(block, trials - done);
+    TRACE_SPAN("probesim.trial_block");
+    for (int64_t k = 0; k < batch; ++k) {
+      SampleSqrtCWalk(g, u, sqrt_c_, max_walk_length_, &rng_, &walk);
+      for (int i = 2; i <= static_cast<int>(walk.size()); ++i) {
+        Probe(walk, i, &result.scores);
+      }
+    }
+    done += batch;
+    block = std::min(block * 2, kMaxBlock);
+    if (ctx != nullptr) ctx->ReportTrials(done, trials);
+  }
+  result.trials_done = done;
+  if (done > 0) {
+    const double inv = 1.0 / static_cast<double>(done);
+    for (double& s : result.scores) s *= inv;
+    result.scores[static_cast<size_t>(u)] = 1.0;
+    // ProbeSim's additive bound scales as 1/sqrt(trials): running `done` of
+    // the full_target trials that guarantee options_.epsilon loosens the
+    // bound by sqrt(full_target / done).
+    result.epsilon_achieved =
+        options_.epsilon * std::sqrt(static_cast<double>(full_target) /
+                                     static_cast<double>(done));
+  }
+  return result;
 }
 
 }  // namespace crashsim

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <unordered_set>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace crashsim {
@@ -119,6 +120,98 @@ std::vector<double> Reads::SingleSource(NodeId u) {
   }
   scores[static_cast<size_t>(u)] = 1.0;
   return scores;
+}
+
+PartialResult Reads::SingleSource(NodeId u, QueryContext* ctx) {
+  PartialResult result;
+  if (Status s = options_.Validate(); !s.ok()) {
+    result.status = s;
+    return result;
+  }
+  const Graph& g = *graph();
+  if (Status s = ValidateNodeId(u, g.num_nodes(), "source"); !s.ok()) {
+    result.status = s;
+    return result;
+  }
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  const int steps = options_.t;
+  result.trials_target = g.num_nodes();
+  result.scores.assign(n, 0.0);
+
+  // Source paths first (identical RNG consumption to the legacy entry
+  // point, so the candidate scores below match it exactly); the chases
+  // afterwards are deterministic index reads.
+  std::vector<NodeId> path(static_cast<size_t>(options_.r) *
+                               static_cast<size_t>(steps + 1),
+                           -1);
+  for (int j = 0; j < options_.r; ++j) {
+    NodeId* row = path.data() + static_cast<size_t>(j) * (steps + 1);
+    row[0] = u;
+    NodeId cur = u;
+    for (int k = 1; k <= steps; ++k) {
+      NodeId nxt;
+      if (j < options_.r_q) {
+        const auto in = g.InNeighbors(cur);
+        if (in.empty() || !rng_.Bernoulli(sqrt_c_)) {
+          nxt = -1;
+        } else {
+          nxt = in[rng_.NextBounded(in.size())];
+        }
+      } else {
+        nxt = next_[static_cast<size_t>(j) * n + static_cast<size_t>(cur)];
+      }
+      row[k] = nxt;
+      if (nxt < 0) break;
+      cur = nxt;
+    }
+  }
+
+  // Candidate sweep with a checkpoint every kChunk candidates. The first
+  // chunk always completes, so even an expired deadline yields a non-empty
+  // partial prefix.
+  constexpr NodeId kChunk = 256;
+  const double inv_r = 1.0 / static_cast<double>(options_.r);
+  NodeId scored = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v > 0 && v % kChunk == 0) {
+      if (ctx != nullptr) {
+        if (Status s = ctx->Check(); !s.ok()) {
+          result.status = s;
+          break;
+        }
+      }
+      if (Status s = CRASHSIM_FAILPOINT("reads.chunk"); !s.ok()) {
+        result.status = s;
+        break;
+      }
+    }
+    if (v != u) {
+      int meets = 0;
+      for (int j = 0; j < options_.r; ++j) {
+        const NodeId* row = path.data() + static_cast<size_t>(j) * (steps + 1);
+        NodeId cur = v;
+        for (int k = 1; k <= steps; ++k) {
+          cur = next_[static_cast<size_t>(j) * n + static_cast<size_t>(cur)];
+          if (cur < 0) break;
+          const NodeId su = row[k];
+          if (su < 0) break;
+          if (su == cur) {
+            ++meets;
+            break;
+          }
+        }
+      }
+      result.scores[static_cast<size_t>(v)] =
+          static_cast<double>(meets) * inv_r;
+    }
+    scored = v + 1;
+    if (ctx != nullptr && (scored % kChunk == 0 || scored == g.num_nodes())) {
+      ctx->ReportTrials(scored, g.num_nodes());
+    }
+  }
+  result.scores[static_cast<size_t>(u)] = 1.0;
+  result.trials_done = scored;
+  return result;
 }
 
 int64_t Reads::IndexBytes() const {

@@ -1,0 +1,139 @@
+#ifndef CRASHSIM_UTIL_FAILPOINT_H_
+#define CRASHSIM_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crashsim {
+
+// Deterministic, seeded fault injection for chaos testing.
+//
+// A failpoint is a named site on a failure-prone path (loader, tree build,
+// trial loop, pool worker, snapshot advance). Production code marks the site
+// with CRASHSIM_FAILPOINT("literal.name") and consumes the returned Status;
+// tests arm individual sites with ConfigureFailpoint() to return errors,
+// inject latency, or simulate allocation failure, and the chaos tier
+// (tests/integration/chaos_test.cc) drives whole query mixes through them.
+//
+// Zero-cost when disabled, same pattern as TRACE_SPAN: a disarmed
+// CRASHSIM_FAILPOINT is one relaxed atomic load and a predictable branch
+// returning OkStatus() (no allocation — an OK Status carries no message).
+// The macros therefore stay compiled into hot paths permanently; the perf
+// baseline gate (tools/run_benchmarks.sh --check) pins the disabled cost.
+//
+// Determinism: whether hit number k of failpoint `name` fires is a pure
+// function of (chaos seed, name, k) — no wall clock, no global RNG. Two runs
+// with the same seed make the same per-site fire decisions in the same
+// order, so single-threaded replays are bit-exact. Under concurrency the
+// *interleaving* decides which query absorbs hit k, but a query that
+// completes unaffected is still bit-identical to a fault-free run (scores
+// depend only on the engine seed and trials_done).
+//
+// Site names MUST be compile-time string literals registered in the catalog
+// in failpoint.cc (lint rule failpoint-catalog); ConfigureFailpoint rejects
+// unknown names so tests cannot arm a typo.
+//
+// Thread safety: all functions are safe to call from any thread.
+// Enable/Disable/Configure take a registry mutex; armed hits take the same
+// mutex (failpoints are a test facility — the armed path favours simplicity
+// over throughput, while the disarmed path stays lock-free).
+
+enum class FailpointAction {
+  kError,     // return Status(code, ...) from the site
+  kLatency,   // sleep latency_ms, then return OK
+  kBadAlloc,  // throw std::bad_alloc (simulated allocation failure)
+};
+
+struct FailpointSpec {
+  FailpointAction action = FailpointAction::kError;
+  // Per-hit fire probability in [0, 1]; 1.0 fires every hit.
+  double probability = 1.0;
+  // Status code returned by kError fires. kUnavailable marks the fault
+  // transient: the QueryExecutor retries it with backoff.
+  StatusCode code = StatusCode::kUnavailable;
+  // Sleep duration for kLatency fires.
+  int64_t latency_ms = 0;
+  // Stop firing after this many fires; 0 means unlimited.
+  int64_t max_fires = 0;
+};
+
+// Whether any failpoints are armed (the global enable flag).
+bool FailpointsEnabled();
+
+// Clears all configurations and counters, stores the chaos seed, and enables
+// hit processing. Call once per chaos run before ConfigureFailpoint.
+void EnableFailpoints(uint64_t seed);
+
+// Disables hit processing and clears all configurations and counters.
+// Always pair with EnableFailpoints (RAII: FailpointScope) so armed sites
+// never leak into later tests.
+void DisableFailpoints();
+
+// Arms `name` with `spec`. kNotFound if the name is not in the catalog,
+// kInvalidArgument for an out-of-domain spec, kDeadlineExceeded never.
+// Requires EnableFailpoints() first (kInvalidArgument otherwise).
+[[nodiscard]] Status ConfigureFailpoint(std::string_view name,
+                                        const FailpointSpec& spec);
+
+// The registered site names, sorted; the source of truth lives in
+// failpoint.cc and the lint rule keeps call sites inside it.
+const std::vector<std::string_view>& FailpointCatalog();
+
+// Times the named site was reached / fired while enabled (0 for unknown or
+// never-armed names).
+int64_t FailpointHits(std::string_view name);
+int64_t FailpointFires(std::string_view name);
+
+// RAII arm/disarm for tests: enables on construction, disables on scope
+// exit so a failing test cannot leak armed failpoints into the next one.
+class FailpointScope {
+ public:
+  explicit FailpointScope(uint64_t seed) { EnableFailpoints(seed); }
+  ~FailpointScope() { DisableFailpoints(); }
+  FailpointScope(const FailpointScope&) = delete;
+  FailpointScope& operator=(const FailpointScope&) = delete;
+};
+
+namespace failpoint_internal {
+
+// Single flag, relaxed loads on the hot path; see FailpointHit.
+extern std::atomic<bool> g_enabled;
+
+// Slow path: registry lookup, deterministic fire decision, action.
+[[nodiscard]] Status Hit(const char* name);
+
+// Rethrows a non-OK Status as StatusException; for sites inside ParallelFor
+// shard bodies where exceptions are the only failure channel.
+inline void ThrowIfError(Status status) {
+  if (!status.ok()) throw StatusException(std::move(status));
+}
+
+}  // namespace failpoint_internal
+
+// Hot-path entry: OkStatus() straight away unless failpoints are enabled.
+[[nodiscard]] inline Status FailpointHit(const char* name) {
+  if (!failpoint_internal::g_enabled.load(std::memory_order_relaxed)) {
+    return OkStatus();
+  }
+  return failpoint_internal::Hit(name);
+}
+
+}  // namespace crashsim
+
+// A failpoint site. `name` MUST be a string literal registered in the
+// catalog in failpoint.cc (lint rule failpoint-catalog). Yields a Status —
+// consume it, typically RETURN_IF_ERROR(CRASHSIM_FAILPOINT("x")). A site
+// armed with kBadAlloc throws std::bad_alloc instead of returning.
+#define CRASHSIM_FAILPOINT(name) ::crashsim::FailpointHit(name)
+
+// Variant for ParallelFor shard bodies (no Status return channel): a fired
+// kError action surfaces as StatusException, caught and converted back to a
+// Status at the parallel call boundary.
+#define CRASHSIM_FAILPOINT_THROW(name) \
+  ::crashsim::failpoint_internal::ThrowIfError(::crashsim::FailpointHit(name))
+
+#endif  // CRASHSIM_UTIL_FAILPOINT_H_

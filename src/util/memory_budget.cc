@@ -1,0 +1,36 @@
+#include "util/memory_budget.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace crashsim {
+
+Status MemoryBudget::Charge(int64_t bytes, const char* what) {
+  if (bytes <= 0) return OkStatus();
+  const int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ > 0 && now > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return ResourceExhaustedError(StrFormat(
+        "%s: memory budget exceeded (requested %lld bytes, %lld of %lld "
+        "bytes already in use)",
+        what, static_cast<long long>(bytes),
+        static_cast<long long>(now - bytes), static_cast<long long>(limit_)));
+  }
+  // Peak tracking: monotone max via CAS; losers retry against the new max.
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return OkStatus();
+}
+
+void MemoryBudget::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  int64_t used = used_.load(std::memory_order_relaxed);
+  while (!used_.compare_exchange_weak(used, std::max<int64_t>(0, used - bytes),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace crashsim

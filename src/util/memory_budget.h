@@ -1,0 +1,73 @@
+#ifndef CRASHSIM_UTIL_MEMORY_BUDGET_H_
+#define CRASHSIM_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace crashsim {
+
+// Cooperative per-query memory accountant. Allocation-heavy stages (the
+// revReach tree build, loader edge buffers) Charge() their projected bytes
+// before allocating; exceeding the budget yields a clean
+// Status(kResourceExhausted) carrying the byte counts instead of an
+// std::bad_alloc mid-build. Attached to a QueryContext by the QueryExecutor
+// (or a test) and borrowed by the engine — the budget must outlive the
+// query.
+//
+// Accounting is advisory and approximate by design: it tracks the dominant
+// allocations (vectors sized in the graph), not every byte, so the limit is
+// a shed threshold rather than a hard rlimit. Charge/Release are single
+// relaxed atomics and safe from any thread; over-budget detection is exact
+// under concurrent charges (fetch_add then compare, refund on failure).
+class MemoryBudget {
+ public:
+  // limit_bytes <= 0 means unlimited (accounting still runs, for peak()).
+  explicit MemoryBudget(int64_t limit_bytes) : limit_(limit_bytes) {}
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  // Reserves `bytes`; kResourceExhausted (with `what` and the byte counts in
+  // the message) when the reservation would cross the limit. Negative or
+  // zero charges are no-ops.
+  [[nodiscard]] Status Charge(int64_t bytes, const char* what);
+
+  // Returns a previous Charge. Releasing more than charged clamps at zero.
+  void Release(int64_t bytes);
+
+  int64_t limit() const { return limit_; }
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  const int64_t limit_;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+// RAII refund: releases `*bytes` against `budget` on destruction unless
+// Dismiss()ed. Lets a build charge incrementally (updating *bytes as it
+// goes) and refund automatically on every error path, while a success path
+// that wants the footprint to stay charged for the query's lifetime calls
+// Dismiss(). A null budget makes the guard a no-op.
+class ScopedBudgetRelease {
+ public:
+  ScopedBudgetRelease(MemoryBudget* budget, const int64_t* bytes)
+      : budget_(budget), bytes_(bytes) {}
+  ~ScopedBudgetRelease() {
+    if (budget_ != nullptr) budget_->Release(*bytes_);
+  }
+  ScopedBudgetRelease(const ScopedBudgetRelease&) = delete;
+  ScopedBudgetRelease& operator=(const ScopedBudgetRelease&) = delete;
+
+  void Dismiss() { budget_ = nullptr; }
+
+ private:
+  MemoryBudget* budget_;
+  const int64_t* bytes_;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_MEMORY_BUDGET_H_

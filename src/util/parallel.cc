@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -38,20 +39,32 @@ Gauge& WorkersGauge() {
   static Gauge& g = MetricsRegistry::Global().gauge("parallel.workers");
   return g;
 }
+Counter& ShardErrorsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("parallel.shard_errors");
+  return c;
+}
 
 // In-flight state of one ParallelFor call: the pool signals `done` once all
-// shards handed to it have finished, and the first exception (by completion
-// order, caller shard included) is stashed for rethrow on the calling thread.
+// shards handed to it have finished. When several shards fail concurrently
+// the exception kept for rethrow is the one from the lowest-begin shard
+// (caller shard included) — deterministic in the chunk boundaries, not in
+// completion order — and every failing shard bumps parallel.shard_errors.
 struct ForState {
   const std::function<void(int64_t, int64_t)>* fn = nullptr;
   std::mutex mu;
   std::condition_variable done;
   int pending = 0;
   std::exception_ptr first_error;
+  int64_t first_error_begin = -1;
 
-  void RecordError(std::exception_ptr e) {
+  void RecordError(std::exception_ptr e, int64_t begin) {
+    ShardErrorsCounter().Add(1);
     const std::lock_guard<std::mutex> lock(mu);
-    if (!first_error) first_error = std::move(e);
+    if (!first_error || begin < first_error_begin) {
+      first_error = std::move(e);
+      first_error_begin = begin;
+    }
   }
 };
 
@@ -117,9 +130,10 @@ class ThreadPool {
         // attributable to the ParallelFor call that spawned it in Perfetto.
         TRACE_SPAN("parallel_for.shard");
         TraceFlowIn(shard.flow_id);
+        CRASHSIM_FAILPOINT_THROW("parallel.worker");
         (*shard.state->fn)(shard.begin, shard.end);
       } catch (...) {
-        shard.state->RecordError(std::current_exception());
+        shard.state->RecordError(std::current_exception(), shard.begin);
       }
       const std::lock_guard<std::mutex> lock(shard.state->mu);
       if (--shard.state->pending == 0) shard.state->done.notify_one();
@@ -148,16 +162,26 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   int64_t budget = max_threads > 0 ? max_threads : static_cast<int64_t>(hw);
   budget = std::min(budget, (n + min_chunk - 1) / min_chunk);
-  if (budget <= 1 || t_is_pool_worker) {
+  // Inline runs are the caller shard of a one-shard call, so their failures
+  // count in parallel.shard_errors like any other shard's — the metric
+  // contract must not depend on the machine's core count.
+  const auto run_inline = [&fn, n] {
     InlineCallsCounter().Add(1);
-    fn(0, n);  // inline path never touches (or spawns) the pool
+    try {
+      fn(0, n);  // inline path never touches (or spawns) the pool
+    } catch (...) {
+      ShardErrorsCounter().Add(1);
+      throw;
+    }
+  };
+  if (budget <= 1 || t_is_pool_worker) {
+    run_inline();
     return;
   }
   budget = std::min(
       budget, static_cast<int64_t>(ThreadPool::Instance().num_workers()) + 1);
   if (budget <= 1) {
-    InlineCallsCounter().Add(1);
-    fn(0, n);
+    run_inline();
     return;
   }
 
@@ -189,7 +213,7 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
   try {
     fn(0, std::min(n, chunk));
   } catch (...) {
-    state.RecordError(std::current_exception());
+    state.RecordError(std::current_exception(), 0);
   }
 
   {

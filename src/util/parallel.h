@@ -30,10 +30,15 @@ int ParallelWorkerCount();
 // ParallelFor never deadlocks; the inner loop just runs inline).
 //
 // Exception safety: an exception thrown by fn on any thread is captured,
-// every chunk still completes or unwinds, and the first captured exception
-// (by completion order) is rethrown on the calling thread. Work already
-// running on other threads is not interrupted; results of a throwing run
-// must be discarded by the caller.
+// every chunk still completes or unwinds, and the captured exception from
+// the *lowest-begin failing chunk* is rethrown on the calling thread — a
+// deterministic first-error-wins rule, so which error a caller sees depends
+// only on the chunk boundaries, never on scheduling. Every failing chunk
+// (surfaced or suppressed) increments the "parallel.shard_errors" counter.
+// Work already running on other threads is not interrupted; results of a
+// throwing run must be discarded by the caller. To move a Status across
+// this exception-only channel, throw StatusException (util/status.h) inside
+// fn and convert back at the call boundary.
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk = 1024, int max_threads = 0);
 

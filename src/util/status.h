@@ -1,6 +1,7 @@
 #ifndef CRASHSIM_UTIL_STATUS_H_
 #define CRASHSIM_UTIL_STATUS_H_
 
+#include <exception>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -21,6 +22,7 @@ enum class StatusCode {
   kCancelled = 4,         // cooperative cancellation observed
   kResourceExhausted = 5, // configured node/edge/memory limit hit
   kDataLoss = 6,          // unrecoverable corruption (truncated stream, ...)
+  kUnavailable = 7,       // transient fault; safe to retry with backoff
 };
 
 // Stable upper-case identifier ("INVALID_ARGUMENT", ...).
@@ -68,6 +70,25 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 [[nodiscard]] Status CancelledError(std::string message);
 [[nodiscard]] Status ResourceExhaustedError(std::string message);
 [[nodiscard]] Status DataLossError(std::string message);
+[[nodiscard]] Status UnavailableError(std::string message);
+
+// Exception carrier for hoisting a Status across frames that can only
+// propagate failures as exceptions (ParallelFor shard bodies, which have no
+// Status return channel). Throw at the fault site, catch at the parallel
+// call boundary, convert back to a Status there. Never let one escape to a
+// caller that speaks Status.
+class StatusException : public std::exception {
+ public:
+  explicit StatusException(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
+};
 
 // Union of a Status and a T: exactly one of the two is active. A non-OK
 // StatusOr never holds a value; value() CHECK-fails unless ok(). Implicit

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/query_context.h"
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
+#include "util/failpoint.h"
+#include "util/memory_budget.h"
 
 namespace crashsim {
 namespace {
@@ -312,6 +316,71 @@ TEST(RevReachSparseTest, MemoryScalesWithEntriesNotLevelsTimesNodes) {
   EXPECT_LT(tree.MemoryBytes(), dense_bytes / 100);
   EXPECT_LT(tree.MemoryBytes(),
             64 * tree.EntryCount() + 64 * (l_max + 2) + 1024);
+}
+
+TEST(RevReachRobustnessTest, InjectedAllocationFailureIsResourceExhausted) {
+  // Loader-OOM contract: a bad_alloc inside the build — injected through
+  // the rev_reach.alloc failpoint — comes back as kResourceExhausted with
+  // the byte estimate, never as an uncaught exception.
+  const Graph g = PaperExampleGraph();
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.action = FailpointAction::kBadAlloc;
+  ASSERT_TRUE(ConfigureFailpoint("rev_reach.alloc", spec).ok());
+  QueryContext ctx;
+  const auto tree_or =
+      BuildRevReach(g, A, 6, 0.25, RevReachMode::kCorrected, 0.0, &ctx);
+  ASSERT_FALSE(tree_or.ok());
+  EXPECT_EQ(tree_or.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(tree_or.status().message().find("out of memory"),
+            std::string::npos);
+  EXPECT_NE(tree_or.status().message().find("bytes"), std::string::npos);
+}
+
+TEST(RevReachRobustnessTest, InjectedBuildFaultReturnsItsStatus) {
+  const Graph g = PaperExampleGraph();
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.action = FailpointAction::kError;
+  spec.code = StatusCode::kUnavailable;
+  ASSERT_TRUE(ConfigureFailpoint("rev_reach.build", spec).ok());
+  QueryContext ctx;
+  const auto tree_or =
+      BuildRevReach(g, A, 6, 0.25, RevReachMode::kCorrected, 0.0, &ctx);
+  ASSERT_FALSE(tree_or.ok());
+  EXPECT_EQ(tree_or.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RevReachRobustnessTest, TinyMemoryBudgetShedsTheBuildCleanly) {
+  const Graph g = PaperExampleGraph();
+  MemoryBudget budget(64);  // far below the O(n) build scratch
+  QueryContext ctx;
+  ctx.set_memory_budget(&budget);
+  const auto tree_or =
+      BuildRevReach(g, A, 6, 0.25, RevReachMode::kCorrected, 0.0, &ctx);
+  ASSERT_FALSE(tree_or.ok());
+  EXPECT_EQ(tree_or.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(tree_or.status().message().find("memory budget"),
+            std::string::npos);
+  // Every charge was refunded on the error path.
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(RevReachRobustnessTest, GenerousBudgetKeepsTreeBytesChargedOnSuccess) {
+  const Graph g = PaperExampleGraph();
+  MemoryBudget budget(8 << 20);
+  QueryContext ctx;
+  ctx.set_memory_budget(&budget);
+  const auto tree_or =
+      BuildRevReach(g, A, 6, 0.25, RevReachMode::kCorrected, 0.0, &ctx);
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status();
+  // Scratch is refunded when the build ends; the tree's own footprint stays
+  // charged for the query's lifetime.
+  EXPECT_EQ(budget.used(), tree_or->MemoryBytes());
+  EXPECT_GT(budget.peak(), budget.used());
+  // The budgeted build is bit-identical to an unbudgeted one.
+  const auto plain = BuildRevReach(g, A, 6, 0.25, RevReachMode::kCorrected);
+  EXPECT_TRUE(*tree_or == plain);
 }
 
 TEST(RevReachSparseTest, BitsetLevelsStillAnswerMissesExactly) {

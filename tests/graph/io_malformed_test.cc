@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph_io.h"
+#include "util/failpoint.h"
 
 namespace crashsim {
 namespace {
@@ -144,6 +145,45 @@ TEST(MalformedInputTest, TemporalNodeLimitIsEnforced) {
   const Status s = LoadTemporalEdgeListFile(f.path(), false, limits).status();
   EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
   EXPECT_NE(s.message().find("line 2"), std::string::npos) << s;
+}
+
+// Loader-OOM contract (docs/ROBUSTNESS.md): an allocation failure while
+// buffering edges — injected here through the graph_io.alloc failpoint —
+// must surface as a descriptive kResourceExhausted with the running byte
+// estimate, never as an uncaught std::bad_alloc.
+TEST(MalformedInputTest, InjectedAllocationFailureIsResourceExhausted) {
+  TempFile f("0 1\n1 2\n2 3\n");
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.action = FailpointAction::kBadAlloc;
+  ASSERT_TRUE(ConfigureFailpoint("graph_io.alloc", spec).ok());
+  const Status s = LoadEdgeListFile(f.path(), false).status();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
+  EXPECT_NE(s.message().find("out of memory"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("bytes"), std::string::npos) << s;
+}
+
+TEST(MalformedInputTest, InjectedTemporalAllocationFailureIsClean) {
+  TempFile f("0 1 0\n1 2 0\n2 3 1\n");
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.action = FailpointAction::kBadAlloc;
+  ASSERT_TRUE(ConfigureFailpoint("graph_io.alloc", spec).ok());
+  const Status s = LoadTemporalEdgeListFile(f.path(), false).status();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
+  EXPECT_NE(s.message().find("out of memory"), std::string::npos) << s;
+}
+
+TEST(MalformedInputTest, InjectedLoadFaultCarriesThePathContext) {
+  TempFile f("0 1\n");
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.action = FailpointAction::kError;
+  spec.code = StatusCode::kUnavailable;
+  ASSERT_TRUE(ConfigureFailpoint("graph_io.load", spec).ok());
+  const Status s = LoadEdgeListFile(f.path(), false).status();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s;
+  EXPECT_NE(s.message().find(f.path()), std::string::npos) << s;
 }
 
 }  // namespace

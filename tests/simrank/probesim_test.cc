@@ -1,5 +1,8 @@
 #include "simrank/probesim.h"
 
+#include <chrono>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
@@ -123,6 +126,92 @@ TEST(ProbeSimTest, RebindResetsToNewGraph) {
   EXPECT_EQ(algo.SingleSource(0).size(), 8u);
   algo.Bind(&g2);
   EXPECT_EQ(algo.SingleSource(0).size(), 4u);
+}
+
+// ---- Context-aware (anytime) entry point ----
+
+TEST(ProbeSimContextTest, CompleteRunMatchesLegacyEntryPoint) {
+  const Graph g = PaperExampleGraph();
+  ProbeSim legacy(FastOptions(200));
+  legacy.Bind(&g);
+  const std::vector<double> expected = legacy.SingleSource(0);
+
+  ProbeSim algo(FastOptions(200));
+  algo.Bind(&g);
+  QueryContext ctx;
+  const PartialResult result = algo.SingleSource(0, &ctx);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.trials_done, 200);
+  EXPECT_EQ(result.scores, expected);
+  EXPECT_DOUBLE_EQ(result.epsilon_achieved, FastOptions(200).epsilon);
+}
+
+TEST(ProbeSimContextTest, ExpiredDeadlineYieldsNonEmptyPartialPrefix) {
+  const Graph g = PaperExampleGraph();
+  ProbeSim algo(FastOptions(100000));
+  algo.Bind(&g);
+  QueryContext ctx(std::chrono::milliseconds(0));  // already expired
+  const PartialResult result = algo.SingleSource(0, &ctx);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  // The first trial block always completes before the first checkpoint.
+  EXPECT_GE(result.trials_done, 1);
+  EXPECT_LT(result.trials_done, 100000);
+  EXPECT_DOUBLE_EQ(result.scores[0], 1.0);
+  EXPECT_GT(result.epsilon_achieved, FastOptions(1).epsilon);
+}
+
+TEST(ProbeSimContextTest, PartialPrefixIsExactResultOfTrialsDone) {
+  // The anytime contract: a cancelled run's scores are bit-identical to a
+  // fresh complete run of trials_done trials with the same seed.
+  const Graph g = PaperExampleGraph();
+  ProbeSim algo(FastOptions(50000));
+  algo.Bind(&g);
+  QueryContext ctx(std::chrono::milliseconds(0));
+  const PartialResult partial = algo.SingleSource(0, &ctx);
+  ASSERT_GE(partial.trials_done, 1);
+
+  ProbeSim replay(FastOptions(partial.trials_done));
+  replay.Bind(&g);
+  QueryContext fresh;
+  const PartialResult full = replay.SingleSource(0, &fresh);
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_EQ(partial.scores, full.scores);
+}
+
+TEST(ProbeSimContextTest, CancellationStopsBetweenBlocks) {
+  const Graph g = PaperExampleGraph();
+  ProbeSim algo(FastOptions(100000));
+  algo.Bind(&g);
+  QueryContext ctx;
+  ctx.Cancel();
+  const PartialResult result = algo.SingleSource(0, &ctx);
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+  EXPECT_GE(result.trials_done, 1);
+  EXPECT_LT(result.trials_done, 100000);
+}
+
+TEST(ProbeSimContextTest, TrialFractionShrinksTheBudget) {
+  const Graph g = PaperExampleGraph();
+  ProbeSim algo(FastOptions(1000));
+  algo.Bind(&g);
+  QueryContext ctx;
+  ctx.set_trial_fraction(0.25);
+  const PartialResult result = algo.SingleSource(0, &ctx);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.trials_target, 250);
+  EXPECT_EQ(result.trials_done, 250);
+  // The reported bound loosens by sqrt(full / done) = 2.
+  EXPECT_NEAR(result.epsilon_achieved, FastOptions(1000).epsilon * 2.0, 1e-12);
+}
+
+TEST(ProbeSimContextTest, InvalidSourceIsInvalidArgument) {
+  const Graph g = PaperExampleGraph();
+  ProbeSim algo(FastOptions(10));
+  algo.Bind(&g);
+  QueryContext ctx;
+  const PartialResult result = algo.SingleSource(999, &ctx);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(result.scores.empty());
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 #include "simrank/reads.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -125,6 +127,79 @@ TEST(ReadsTest, WalkCapLimitsMeetingDepth) {
   // Node 5's only 1-step destination is node 4's neighbourhood; node 0 is
   // unreachable in one step from anything shared.
   EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+// ---- Context-aware (anytime) entry point ----
+
+TEST(ReadsContextTest, CompleteRunMatchesLegacyEntryPoint) {
+  // The ctx path consumes the member RNG exactly like the legacy one, so a
+  // complete run is bit-identical.
+  const Graph g = CycleGraph(500, /*undirected=*/true);
+  Reads legacy(Options());
+  legacy.Bind(&g);
+  const std::vector<double> expected = legacy.SingleSource(3);
+
+  Reads algo(Options());
+  algo.Bind(&g);
+  QueryContext ctx;
+  const PartialResult result = algo.SingleSource(3, &ctx);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.trials_done, g.num_nodes());
+  EXPECT_EQ(result.trials_target, g.num_nodes());
+  EXPECT_EQ(result.scores, expected);
+}
+
+TEST(ReadsContextTest, CancellationYieldsExactPartialPrefix) {
+  // READS progress is candidates scored: a cancelled sweep scores the prefix
+  // [0, trials_done) exactly as the full run would and leaves the rest 0.
+  const Graph g = CycleGraph(2000, /*undirected=*/true);
+  Reads full_algo(Options());
+  full_algo.Bind(&g);
+  QueryContext full_ctx;
+  const PartialResult full = full_algo.SingleSource(3, &full_ctx);
+  ASSERT_TRUE(full.status.ok());
+
+  Reads algo(Options());
+  algo.Bind(&g);
+  QueryContext ctx;
+  ctx.Cancel();
+  const PartialResult partial = algo.SingleSource(3, &ctx);
+  EXPECT_EQ(partial.status.code(), StatusCode::kCancelled);
+  // The first 256-candidate chunk always completes before the checkpoint.
+  ASSERT_GE(partial.trials_done, 256);
+  ASSERT_LT(partial.trials_done, g.num_nodes());
+  const NodeId done = static_cast<NodeId>(partial.trials_done);
+  for (NodeId v = 0; v < done; ++v) {
+    EXPECT_EQ(partial.scores[static_cast<size_t>(v)],
+              full.scores[static_cast<size_t>(v)])
+        << v;
+  }
+  for (NodeId v = done; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(partial.scores[static_cast<size_t>(v)], 0.0) << v;
+  }
+  // READS carries no epsilon parameter, so no bound is claimed.
+  EXPECT_TRUE(std::isinf(partial.epsilon_achieved));
+}
+
+TEST(ReadsContextTest, ExpiredDeadlineStillScoresFirstChunk) {
+  const Graph g = CycleGraph(2000, /*undirected=*/true);
+  Reads algo(Options());
+  algo.Bind(&g);
+  QueryContext ctx(std::chrono::milliseconds(0));
+  const PartialResult result = algo.SingleSource(3, &ctx);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(result.trials_done, 256);
+  EXPECT_DOUBLE_EQ(result.scores[3], 1.0);
+}
+
+TEST(ReadsContextTest, InvalidSourceIsInvalidArgument) {
+  const Graph g = PaperExampleGraph();
+  Reads algo(Options());
+  algo.Bind(&g);
+  QueryContext ctx;
+  const PartialResult result = algo.SingleSource(-1, &ctx);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(result.scores.empty());
 }
 
 }  // namespace

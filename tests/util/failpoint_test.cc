@@ -1,0 +1,179 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace crashsim {
+namespace {
+
+// Every test arms through FailpointScope so a failure cannot leak armed
+// sites into later tests (the registry is process-global).
+
+TEST(FailpointTest, DisabledSiteIsOk) {
+  ASSERT_FALSE(FailpointsEnabled());
+  EXPECT_TRUE(CRASHSIM_FAILPOINT("rev_reach.build").ok());
+}
+
+TEST(FailpointTest, EnabledButUnarmedSiteIsOk) {
+  FailpointScope scope(42);
+  EXPECT_TRUE(FailpointsEnabled());
+  EXPECT_TRUE(CRASHSIM_FAILPOINT("rev_reach.build").ok());
+}
+
+TEST(FailpointTest, ScopeDisablesOnExit) {
+  {
+    FailpointScope scope(42);
+    ASSERT_TRUE(FailpointsEnabled());
+  }
+  EXPECT_FALSE(FailpointsEnabled());
+}
+
+TEST(FailpointTest, ConfigureRejectsUnknownName) {
+  FailpointScope scope(42);
+  const Status s = ConfigureFailpoint("no.such.site", FailpointSpec{});
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(FailpointTest, ConfigureRejectsOutOfDomainSpec) {
+  FailpointScope scope(42);
+  FailpointSpec bad_prob;
+  bad_prob.probability = 1.5;
+  EXPECT_EQ(ConfigureFailpoint("rev_reach.build", bad_prob).code(),
+            StatusCode::kInvalidArgument);
+  FailpointSpec bad_latency;
+  bad_latency.latency_ms = -1;
+  EXPECT_EQ(ConfigureFailpoint("rev_reach.build", bad_latency).code(),
+            StatusCode::kInvalidArgument);
+  FailpointSpec bad_fires;
+  bad_fires.max_fires = -1;
+  EXPECT_EQ(ConfigureFailpoint("rev_reach.build", bad_fires).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FailpointTest, ConfigureRequiresEnable) {
+  ASSERT_FALSE(FailpointsEnabled());
+  EXPECT_EQ(ConfigureFailpoint("rev_reach.build", FailpointSpec{}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FailpointTest, ArmedErrorFiresWithConfiguredCode) {
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.action = FailpointAction::kError;
+  spec.code = StatusCode::kUnavailable;
+  ASSERT_TRUE(ConfigureFailpoint("rev_reach.build", spec).ok());
+  const Status s = CRASHSIM_FAILPOINT("rev_reach.build");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.message().find("rev_reach.build"), std::string::npos);
+  EXPECT_EQ(FailpointHits("rev_reach.build"), 1);
+  EXPECT_EQ(FailpointFires("rev_reach.build"), 1);
+}
+
+TEST(FailpointTest, MaxFiresCapsTheFault) {
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.max_fires = 2;
+  ASSERT_TRUE(ConfigureFailpoint("rev_reach.build", spec).ok());
+  int errors = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!CRASHSIM_FAILPOINT("rev_reach.build").ok()) ++errors;
+  }
+  EXPECT_EQ(errors, 2);
+  EXPECT_EQ(FailpointHits("rev_reach.build"), 10);
+  EXPECT_EQ(FailpointFires("rev_reach.build"), 2);
+}
+
+TEST(FailpointTest, BadAllocActionThrows) {
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.action = FailpointAction::kBadAlloc;
+  ASSERT_TRUE(ConfigureFailpoint("rev_reach.alloc", spec).ok());
+  EXPECT_THROW((void)CRASHSIM_FAILPOINT("rev_reach.alloc"), std::bad_alloc);
+}
+
+TEST(FailpointTest, ThrowMacroSurfacesStatusException) {
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  ASSERT_TRUE(ConfigureFailpoint("parallel.worker", spec).ok());
+  try {
+    CRASHSIM_FAILPOINT_THROW("parallel.worker");
+    FAIL() << "expected StatusException";
+  } catch (const StatusException& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kUnavailable);
+  }
+}
+
+// The chaos tier's replay property: the per-site fire pattern is a pure
+// function of (seed, name, hit index).
+TEST(FailpointTest, FirePatternIsSeedDeterministic) {
+  const auto pattern = [](uint64_t seed) {
+    FailpointScope scope(seed);
+    FailpointSpec spec;
+    spec.probability = 0.3;
+    EXPECT_TRUE(ConfigureFailpoint("crashsim.trial_block", spec).ok());
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(!CRASHSIM_FAILPOINT("crashsim.trial_block").ok());
+    }
+    return fires;
+  };
+  const std::vector<bool> a = pattern(7);
+  const std::vector<bool> b = pattern(7);
+  const std::vector<bool> c = pattern(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  const int64_t fired = std::count(a.begin(), a.end(), true);
+  // 200 Bernoulli(0.3) hits: far from 0 and from 200 with overwhelming
+  // probability, and exact under the determinism above.
+  EXPECT_GT(fired, 20);
+  EXPECT_LT(fired, 140);
+}
+
+TEST(FailpointTest, DistinctSitesFireIndependently) {
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.probability = 0.5;
+  ASSERT_TRUE(ConfigureFailpoint("crashsim.trial_block", spec).ok());
+  ASSERT_TRUE(ConfigureFailpoint("probesim.trial_block", spec).ok());
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(!CRASHSIM_FAILPOINT("crashsim.trial_block").ok());
+    b.push_back(!CRASHSIM_FAILPOINT("probesim.trial_block").ok());
+  }
+  // The name is hashed into the decision stream, so two sites armed the
+  // same way must not fire in lockstep.
+  EXPECT_NE(a, b);
+}
+
+TEST(FailpointTest, CatalogIsSortedAndComplete) {
+  const std::vector<std::string_view>& catalog = FailpointCatalog();
+  ASSERT_FALSE(catalog.empty());
+  EXPECT_TRUE(std::is_sorted(catalog.begin(), catalog.end()));
+  // Every catalog name must be armable.
+  FailpointScope scope(42);
+  for (const std::string_view name : catalog) {
+    EXPECT_TRUE(ConfigureFailpoint(name, FailpointSpec{}).ok()) << name;
+  }
+}
+
+TEST(FailpointTest, ZeroProbabilityNeverFires) {
+  FailpointScope scope(42);
+  FailpointSpec spec;
+  spec.probability = 0.0;
+  ASSERT_TRUE(ConfigureFailpoint("rev_reach.build", spec).ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(CRASHSIM_FAILPOINT("rev_reach.build").ok());
+  }
+  EXPECT_EQ(FailpointFires("rev_reach.build"), 0);
+  EXPECT_EQ(FailpointHits("rev_reach.build"), 50);
+}
+
+}  // namespace
+}  // namespace crashsim

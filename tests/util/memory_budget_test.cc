@@ -1,0 +1,117 @@
+#include "util/memory_budget.h"
+
+#include <atomic>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace crashsim {
+namespace {
+
+TEST(MemoryBudgetTest, ChargeWithinLimitSucceeds) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.Charge(400, "a").ok());
+  EXPECT_TRUE(budget.Charge(600, "b").ok());
+  EXPECT_EQ(budget.used(), 1000);
+  EXPECT_EQ(budget.peak(), 1000);
+}
+
+TEST(MemoryBudgetTest, OverLimitChargeFailsAndRefunds) {
+  MemoryBudget budget(1000);
+  ASSERT_TRUE(budget.Charge(900, "base").ok());
+  const Status s = budget.Charge(200, "revReach tree");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // The failed charge must not stick: the message carries the byte counts
+  // and `used` snaps back to the pre-charge value.
+  EXPECT_NE(s.message().find("revReach tree"), std::string::npos);
+  EXPECT_NE(s.message().find("200"), std::string::npos);
+  EXPECT_EQ(budget.used(), 900);
+}
+
+TEST(MemoryBudgetTest, ReleaseReturnsBytes) {
+  MemoryBudget budget(1000);
+  ASSERT_TRUE(budget.Charge(800, "a").ok());
+  budget.Release(500);
+  EXPECT_EQ(budget.used(), 300);
+  EXPECT_TRUE(budget.Charge(700, "b").ok());
+  EXPECT_EQ(budget.peak(), 1000);
+}
+
+TEST(MemoryBudgetTest, OverReleaseClampsAtZero) {
+  MemoryBudget budget(1000);
+  ASSERT_TRUE(budget.Charge(100, "a").ok());
+  budget.Release(400);
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(MemoryBudgetTest, NonPositiveChargesAreNoOps) {
+  MemoryBudget budget(10);
+  EXPECT_TRUE(budget.Charge(0, "zero").ok());
+  EXPECT_TRUE(budget.Charge(-5, "negative").ok());
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(MemoryBudgetTest, UnlimitedBudgetStillTracksPeak) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.Charge(1 << 30, "huge").ok());
+  EXPECT_EQ(budget.peak(), 1 << 30);
+  budget.Release(1 << 30);
+  EXPECT_EQ(budget.used(), 0);
+  EXPECT_EQ(budget.peak(), 1 << 30);
+}
+
+TEST(MemoryBudgetTest, ScopedReleaseRefundsOnScopeExit) {
+  MemoryBudget budget(1000);
+  int64_t charged = 0;
+  {
+    ScopedBudgetRelease guard(&budget, &charged);
+    ASSERT_TRUE(budget.Charge(600, "scratch").ok());
+    charged = 600;
+  }
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(MemoryBudgetTest, ScopedReleaseDismissKeepsCharge) {
+  MemoryBudget budget(1000);
+  int64_t charged = 0;
+  {
+    ScopedBudgetRelease guard(&budget, &charged);
+    ASSERT_TRUE(budget.Charge(600, "tree").ok());
+    charged = 600;
+    guard.Dismiss();
+  }
+  EXPECT_EQ(budget.used(), 600);
+}
+
+TEST(MemoryBudgetTest, NullBudgetGuardIsNoOp) {
+  int64_t charged = 123;
+  ScopedBudgetRelease guard(nullptr, &charged);  // must not crash
+}
+
+// Over-budget detection is exact under concurrent charges: with limit L and
+// each worker charging 1 byte at a time, exactly L charges succeed.
+TEST(MemoryBudgetTest, ConcurrentChargesNeverOvershoot) {
+  constexpr int64_t kLimit = 4096;
+  constexpr int64_t kAttempts = 16384;
+  MemoryBudget budget(kLimit);
+  std::atomic<int64_t> granted{0};
+  ParallelFor(
+      kAttempts,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          if (budget.Charge(1, "concurrent").ok()) {
+            granted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      /*min_chunk=*/64);
+  EXPECT_EQ(granted.load(), kLimit);
+  EXPECT_EQ(budget.used(), kLimit);
+  EXPECT_EQ(budget.peak(), kLimit);
+}
+
+}  // namespace
+}  // namespace crashsim

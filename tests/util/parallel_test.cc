@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/metrics.h"
+
 namespace crashsim {
 namespace {
 
@@ -165,6 +167,57 @@ TEST(ParallelForTest, ChunkBoundariesDependOnlyOnParameters) {
     return out;
   };
   EXPECT_EQ(boundaries(5000, 64, 2), boundaries(5000, 64, 2));
+}
+
+TEST(ParallelForTest, LowestBeginExceptionWinsDeterministically) {
+  // When several chunks throw, the rethrown exception must be the one from
+  // the lowest begin index — a deterministic pick, independent of which
+  // worker lost the race — so a fault injected into a parallel trial block
+  // reports the same Status on every run.
+  for (int rep = 0; rep < 20; ++rep) {
+    std::string caught;
+    try {
+      ParallelFor(
+          100000,
+          [](int64_t begin, int64_t) {
+            if (begin % 128 == 0) {
+              throw std::runtime_error("chunk " + std::to_string(begin));
+            }
+          },
+          /*min_chunk=*/64);
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "chunk 0") << "rep " << rep;
+  }
+}
+
+TEST(ParallelForTest, EveryFailingShardCountsInShardErrors) {
+  // The winner is deterministic, but every losing shard still increments
+  // parallel.shard_errors — the observability contract for faults that were
+  // absorbed rather than rethrown.
+  Counter& errors = MetricsRegistry::Global().counter("parallel.shard_errors");
+  const int64_t before = errors.Value();
+  std::atomic<int64_t> thrown{0};
+  try {
+    ParallelFor(
+        100000,
+        [&](int64_t begin, int64_t) {
+          if (begin % 1024 == 0) {
+            thrown.fetch_add(1, std::memory_order_relaxed);
+            throw std::runtime_error("chunk " + std::to_string(begin));
+          }
+        },
+        /*min_chunk=*/64);
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // Every shard that throws — pool shard, caller shard, or an inline run on
+  // a single-core budget — is recorded, so the counter advance equals the
+  // number of throws actually executed.
+  EXPECT_EQ(errors.Value() - before, thrown.load());
+  EXPECT_GE(thrown.load(), 1);
 }
 
 TEST(ParallelForTest, ParallelSumMatchesSequential) {

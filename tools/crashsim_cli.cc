@@ -3,6 +3,7 @@
 //   crashsim_cli stats    --graph FILE [--undirected]
 //   crashsim_cli topk     --graph FILE --source ID --k K --algo NAME ...
 //   crashsim_cli temporal --graph FILE --kind KIND --source ID ...
+//   crashsim_cli stress   --graph FILE --clients N --queries Q [--chaos_seed S]
 //   crashsim_cli generate --dataset NAME --scale S [--snapshots T] --out FILE
 //
 // Static graphs are "src dst" edge lists (SNAP format, '#' comments);
@@ -11,21 +12,27 @@
 //
 // Exit codes (see docs/ERRORS.md): 0 success, 1 usage/flag-parse error, then
 // one distinct code per StatusCode — 2 INVALID_ARGUMENT, 3 NOT_FOUND,
-// 4 DEADLINE_EXCEEDED, 5 CANCELLED, 6 RESOURCE_EXHAUSTED, 7 DATA_LOSS —
-// so sweep scripts can tell a timeout from a bad input without scraping
-// stderr.
+// 4 DEADLINE_EXCEEDED, 5 CANCELLED, 6 RESOURCE_EXHAUSTED, 7 DATA_LOSS,
+// 8 UNAVAILABLE — so sweep scripts can tell a timeout from a bad input
+// without scraping stderr.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/baseline_temporal.h"
 #include "core/crashsim.h"
 #include "core/crashsim_t.h"
 #include "core/durable_topk.h"
+#include "core/executor.h"
 #include "core/query_context.h"
 #include "core/query_stats.h"
 #include "datasets/datasets.h"
@@ -38,6 +45,7 @@
 #include "simrank/reads.h"
 #include "simrank/sling.h"
 #include "simrank/topk.h"
+#include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -65,6 +73,7 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kCancelled: return 5;
     case StatusCode::kResourceExhausted: return 6;
     case StatusCode::kDataLoss: return 7;
+    case StatusCode::kUnavailable: return 8;
   }
   return 1;
 }
@@ -597,6 +606,237 @@ int RunDurable(int argc, char** argv) {
   return 0;
 }
 
+// One stress client's engine: a per-thread instance (the engines keep
+// per-query scratch and a member RNG, so instances are not shared across
+// threads) bound to the shared immutable graph, wrapped as a source ->
+// PartialResult callable for the executor.
+std::function<PartialResult(NodeId, QueryContext*)> MakeStressEngine(
+    const FlagSet& flags, const Graph& g, uint64_t seed) {
+  SimRankOptions mc;
+  mc.c = flags.GetDouble("c");
+  mc.epsilon = flags.GetDouble("epsilon");
+  mc.delta = flags.GetDouble("delta");
+  mc.trials_override = flags.GetInt("trials");
+  mc.seed = seed;
+  const std::string algo = flags.GetString("algo");
+  if (algo == "crashsim") {
+    CrashSimOptions opt;
+    opt.mc = mc;
+    opt.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
+                                           : RevReachMode::kCorrected;
+    opt.num_threads = static_cast<int>(flags.GetInt("threads"));
+    auto engine = std::make_shared<CrashSim>(opt);
+    engine->Bind(&g);
+    return [engine](NodeId u, QueryContext* ctx) {
+      return engine->SingleSource(u, ctx);
+    };
+  }
+  if (algo == "probesim") {
+    auto engine = std::make_shared<ProbeSim>(mc);
+    engine->Bind(&g);
+    return [engine](NodeId u, QueryContext* ctx) {
+      return engine->SingleSource(u, ctx);
+    };
+  }
+  if (algo == "reads") {
+    ReadsOptions ro;
+    ro.c = mc.c;
+    ro.seed = seed;
+    auto engine = std::make_shared<Reads>(ro);
+    engine->Bind(&g);
+    return [engine](NodeId u, QueryContext* ctx) {
+      return engine->SingleSource(u, ctx);
+    };
+  }
+  return nullptr;
+}
+
+// `stress` — drive a concurrent query mix through the QueryExecutor and
+// report what the overload machinery did: per-StatusCode outcome counts,
+// latency percentiles, and the executor's shed/degrade/retry tallies.
+// Optionally arms the chaos failpoints (--chaos_seed >= 0) so operators can
+// rehearse fault handling on real graphs; determinism then follows the
+// failpoint contract (per-site fire decisions are seed-deterministic, the
+// thread interleaving decides which query absorbs them). Exit code reflects
+// the harness itself: shed or failed queries are *reported*, not fatal.
+int RunStress(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("graph", "", "edge-list file");
+  flags.DefineBool("undirected", false, "treat edges as undirected");
+  flags.DefineIntInRange("clients", 8, 1, 1024, "concurrent client threads");
+  flags.DefineIntInRange("queries", 16, 1, 1000000,
+                         "queries submitted per client");
+  flags.DefineIntInRange("timeout_ms", 0, 0, 86400000,
+                         "per-query deadline in ms (0 = unbounded)");
+  flags.DefineIntInRange("max_concurrent", 4, 1, 1024,
+                         "queries allowed to run concurrently");
+  flags.DefineIntInRange("max_queue", 16, 0, 1 << 20,
+                         "admission queue capacity");
+  flags.DefineDouble("degrade_at", 2.0,
+                     "load factor where trial-budget degradation starts "
+                     "(<= 0 disables)");
+  flags.DefineDouble("degrade_min_fraction", 0.25,
+                     "floor for the degraded trial fraction");
+  flags.DefineIntInRange("max_retries", 2, 0, 100,
+                         "retry budget for transient (UNAVAILABLE) failures");
+  flags.DefineIntInRange("memory_budget_mb", 0, 0, 1 << 20,
+                         "per-query memory budget in MiB (0 = unlimited)");
+  flags.DefineInt("chaos_seed", -1,
+                  "arm the failpoint chaos profile with this seed "
+                  "(-1 = faults off)");
+  flags.DefineDouble("chaos_prob", 0.005,
+                     "per-hit fire probability for the chaos profile; the "
+                     "trial-loop sites are hit once per trial block, so a "
+                     "query at the default epsilon budget takes O(100) hits "
+                     "— keep this small unless every query should fail");
+  DefineAlgoFlags(&flags);
+  flags.DefineString("metrics_out", "",
+                     "write process metrics in Prometheus text exposition "
+                     "format on exit");
+  if (!flags.Parse(argc, argv)) return 1;
+  const ScopedMetricsExport metrics_export(flags.GetString("metrics_out"));
+
+  const auto loaded_or = LoadEdgeListFile(flags.GetString("graph"),
+                                          flags.GetBool("undirected"));
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
+  const Graph& g = loaded_or->graph;
+  if (g.num_nodes() == 0) {
+    return FailStatus(InvalidArgumentError("graph has no nodes"));
+  }
+
+  ExecutorOptions eopt;
+  eopt.max_concurrent = static_cast<int>(flags.GetInt("max_concurrent"));
+  eopt.max_queue = static_cast<int>(flags.GetInt("max_queue"));
+  eopt.default_deadline_ms = flags.GetInt("timeout_ms");
+  eopt.degrade_at = flags.GetDouble("degrade_at");
+  eopt.degrade_min_fraction = flags.GetDouble("degrade_min_fraction");
+  eopt.max_retries = static_cast<int>(flags.GetInt("max_retries"));
+  eopt.memory_budget_bytes = flags.GetInt("memory_budget_mb") * (1 << 20);
+  if (Status s = eopt.Validate(); !s.ok()) return FailStatus(s);
+  QueryExecutor executor(eopt);
+
+  // Optional chaos profile: transient errors on the trial loops (exercises
+  // the retry path) plus the tree build (exercises shed accounting).
+  std::optional<FailpointScope> chaos;
+  const int64_t chaos_seed = flags.GetInt("chaos_seed");
+  if (chaos_seed >= 0) {
+    chaos.emplace(static_cast<uint64_t>(chaos_seed));
+    FailpointSpec spec;
+    spec.action = FailpointAction::kError;
+    spec.code = StatusCode::kUnavailable;
+    spec.probability = flags.GetDouble("chaos_prob");
+    for (const char* site :
+         {"crashsim.trial_block", "probesim.trial_block", "reads.chunk",
+          "rev_reach.build"}) {
+      if (Status s = ConfigureFailpoint(site, spec); !s.ok()) {
+        return FailStatus(s);
+      }
+    }
+  }
+
+  const int clients = static_cast<int>(flags.GetInt("clients"));
+  const int64_t queries = flags.GetInt("queries");
+  const uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::mutex tally_mu;
+  std::map<StatusCode, int64_t> by_code;        // under tally_mu
+  std::vector<double> latencies_ms;             // under tally_mu
+  int64_t degraded = 0, retried_queries = 0;    // under tally_mu
+  Status setup_error;                           // under tally_mu
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      // Distinct engine seed per client: the stress mix should exercise
+      // different walks, not one replayed query.
+      const auto run =
+          MakeStressEngine(flags, g, base_seed + static_cast<uint64_t>(c));
+      if (!run) {
+        const std::lock_guard<std::mutex> lock(tally_mu);
+        setup_error =
+            InvalidArgumentError("unknown --algo " + flags.GetString("algo") +
+                                 " (stress supports crashsim|probesim|reads)");
+        return;
+      }
+      std::map<StatusCode, int64_t> local_codes;
+      std::vector<double> local_ms;
+      local_ms.reserve(static_cast<size_t>(queries));
+      int64_t local_degraded = 0, local_retried = 0;
+      for (int64_t q = 0; q < queries; ++q) {
+        const NodeId source = static_cast<NodeId>(
+            (static_cast<int64_t>(c) + q * clients) % g.num_nodes());
+        QueryRequest request;
+        request.run = [&run, source](QueryContext* ctx) {
+          return run(source, ctx);
+        };
+        const Stopwatch timer;
+        const QueryOutcome outcome = executor.Execute(request);
+        local_ms.push_back(timer.ElapsedSeconds() * 1e3);
+        ++local_codes[outcome.result.status.code()];
+        if (outcome.degraded) ++local_degraded;
+        if (outcome.retries > 0) ++local_retried;
+      }
+      const std::lock_guard<std::mutex> lock(tally_mu);
+      for (const auto& [code, count] : local_codes) by_code[code] += count;
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+      degraded += local_degraded;
+      retried_queries += local_retried;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  if (!setup_error.ok()) return FailStatus(setup_error);
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto percentile = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    const size_t idx = std::min(
+        latencies_ms.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies_ms.size())));
+    return latencies_ms[idx];
+  };
+
+  std::printf("stress: %d clients x %lld queries (%s) on %lld nodes\n",
+              clients, static_cast<long long>(queries),
+              flags.GetString("algo").c_str(),
+              static_cast<long long>(g.num_nodes()));
+  std::printf("outcomes:");
+  for (const auto& [code, count] : by_code) {
+    std::printf("  %s %lld", StatusCodeName(code),
+                static_cast<long long>(count));
+  }
+  std::printf("\n");
+  std::printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+              percentile(0.50), percentile(0.95), percentile(0.99),
+              latencies_ms.empty() ? 0.0 : latencies_ms.back());
+  const QueryExecutor::Stats stats = executor.stats();
+  std::printf(
+      "executor: admitted %lld  shed_queue_full %lld  shed_deadline %lld  "
+      "expired_in_queue %lld  degraded %lld  retries %lld "
+      "(%lld queries retried)\n",
+      static_cast<long long>(stats.admitted),
+      static_cast<long long>(stats.shed_queue_full),
+      static_cast<long long>(stats.shed_deadline),
+      static_cast<long long>(stats.expired_in_queue),
+      static_cast<long long>(degraded),
+      static_cast<long long>(stats.retries),
+      static_cast<long long>(retried_queries));
+  if (chaos_seed >= 0) {
+    std::printf("chaos: seed %lld", static_cast<long long>(chaos_seed));
+    for (const char* site :
+         {"crashsim.trial_block", "probesim.trial_block", "reads.chunk",
+          "rev_reach.build"}) {
+      const int64_t fires = FailpointFires(site);
+      if (fires > 0) {
+        std::printf("  %s %lld", site, static_cast<long long>(fires));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int RunGenerate(int argc, char** argv) {
   FlagSet flags;
   flags.DefineString("dataset", "as733",
@@ -624,8 +864,8 @@ int RunGenerate(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: crashsim_cli <stats|topk|temporal|durable|generate> "
-               "[flags]\n"
+               "usage: crashsim_cli "
+               "<stats|topk|temporal|durable|stress|generate> [flags]\n"
                "run a subcommand with --help for its flags\n");
   return 1;
 }
@@ -641,6 +881,7 @@ int main(int argc, char** argv) {
   if (command == "topk") return crashsim::RunTopK(argc - 1, argv + 1);
   if (command == "temporal") return crashsim::RunTemporal(argc - 1, argv + 1);
   if (command == "durable") return crashsim::RunDurable(argc - 1, argv + 1);
+  if (command == "stress") return crashsim::RunStress(argc - 1, argv + 1);
   if (command == "generate") return crashsim::RunGenerate(argc - 1, argv + 1);
   return crashsim::Usage();
 }

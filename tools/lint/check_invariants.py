@@ -32,6 +32,15 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and suppression policy):
                        aggregated self/total table keys on. Applies to
                        src/**.
 
+  failpoint-catalog    Every CRASHSIM_FAILPOINT(...) /
+                       CRASHSIM_FAILPOINT_THROW(...) name must be a string
+                       literal registered in the kFailpointCatalog array in
+                       src/util/failpoint.cc. ConfigureFailpoint rejects
+                       unknown names at runtime; this rule closes the other
+                       half — a site whose name never made it into the
+                       catalog can never be armed, so the chaos tier would
+                       silently skip it. Applies to src/**.
+
 Suppression: append  // lint:allow(<rule-id>): <justification>  to the
 offending line, or put it on a comment-only line immediately above. The
 justification is mandatory — a bare allow is an error.
@@ -64,8 +73,13 @@ THREAD_PRIMITIVE_RE = re.compile(
     r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
     r"condition_variable|condition_variable_any)\b"
 )
+# failpoint.* (registry mutex — a test facility whose armed path favours one
+# audited lock) and executor.* (admission gate: the mutex + condvar *are* the
+# subsystem; ParallelFor is a data-parallel loop, not an admission queue) are
+# deliberate additions, each with its own TSan coverage.
 THREAD_EXEMPT = ("src/util/parallel.", "src/util/metrics.",
-                 "src/util/trace.")
+                 "src/util/trace.", "src/util/failpoint.",
+                 "src/core/executor.")
 
 # rand() takes no arguments and C time() is called as time(NULL / nullptr /
 # 0 / &var), so matching those call shapes keeps members *named* time(...)
@@ -89,6 +103,18 @@ IOSTREAM_EXEMPT = ("src/util/logging.",)
 # a double quote is a non-literal name. Preprocessor lines (the macro's own
 # definition) are skipped by the caller.
 TRACE_SPAN_RE = re.compile(r"\bTRACE_SPAN\s*\(\s*([^)]*)\)")
+
+# A failpoint site and its argument; same literal-detection scheme as
+# TRACE_SPAN (stripped code keeps the quote characters). The registered-name
+# check reads the literal back out of the *raw* line.
+FAILPOINT_RE = re.compile(r"\bCRASHSIM_FAILPOINT(?:_THROW)?\s*\(\s*([^)]*)\)")
+FAILPOINT_NAME_RE = re.compile(
+    r'\bCRASHSIM_FAILPOINT(?:_THROW)?\s*\(\s*"([^"]*)"')
+# The catalog array in src/util/failpoint.cc — the source of truth for
+# registered site names.
+FAILPOINT_CATALOG_RE = re.compile(
+    r"kFailpointCatalog\[\]\s*=\s*\{(.*?)\}", re.DOTALL)
+FAILPOINT_CATALOG_FILE = "src/util/failpoint.cc"
 
 
 def strip_comments_and_strings(line):
@@ -125,6 +151,21 @@ class Linter:
     def __init__(self, root):
         self.root = Path(root)
         self.findings = []
+        self.failpoint_catalog = self._load_failpoint_catalog()
+
+    def _load_failpoint_catalog(self):
+        """Registered failpoint names from src/util/failpoint.cc; empty when
+        the file (or the array) is absent, in which case every site is
+        unregistered by definition."""
+        try:
+            text = (self.root / FAILPOINT_CATALOG_FILE).read_text(
+                encoding="utf-8", errors="replace")
+        except OSError:
+            return frozenset()
+        m = FAILPOINT_CATALOG_RE.search(text)
+        if not m:
+            return frozenset()
+        return frozenset(re.findall(r'"([^"]*)"', m.group(1)))
 
     def report(self, path, lineno, rule, message, raw_line, prev_raw=""):
         m = ALLOW_RE.search(raw_line)
@@ -237,6 +278,27 @@ class Linter:
                     "TRACE_SPAN name must be a string literal — the tracer "
                     "keeps the char* without copying (util/trace.h)", raw,
                     prev_raw)
+
+        if rel.startswith("src/") and not code.lstrip().startswith("#"):
+            m = FAILPOINT_RE.search(code)
+            if m:
+                if not m.group(1).strip().startswith('"'):
+                    self.report(
+                        rel, lineno, "failpoint-catalog",
+                        "failpoint name must be a string literal so the "
+                        "catalog check can see it (util/failpoint.h)", raw,
+                        prev_raw)
+                else:
+                    name_m = FAILPOINT_NAME_RE.search(raw)
+                    if name_m and name_m.group(1) not in \
+                            self.failpoint_catalog:
+                        self.report(
+                            rel, lineno, "failpoint-catalog",
+                            "failpoint %r is not registered in "
+                            "kFailpointCatalog (%s) — an unregistered site "
+                            "can never be armed" % (name_m.group(1),
+                                                    FAILPOINT_CATALOG_FILE),
+                            raw, prev_raw)
 
     def run(self, paths=None):
         if paths:

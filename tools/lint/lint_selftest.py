@@ -23,6 +23,7 @@ EXPECTED_DIRTY = {
     ("src/graph/bad_thread.cc", "thread-primitives"): 2,
     ("src/eval/bad_iostream.cc", "iostream-write"): 3,
     ("src/core/bad_trace.cc", "trace-span-literal"): 2,
+    ("src/core/bad_failpoint.cc", "failpoint-catalog"): 2,
 }
 
 FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")

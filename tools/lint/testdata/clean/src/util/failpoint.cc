@@ -1,0 +1,11 @@
+// Fixture: a minimal failpoint catalog, the source of truth the
+// failpoint-catalog rule parses for this tree's registered names.
+
+namespace crashsim {
+
+const char* const kFailpointCatalog[] = {
+    "demo.other",
+    "demo.site",
+};
+
+}  // namespace crashsim

@@ -41,4 +41,13 @@ void TracedWork() {
   TRACE_SPAN("good_util.traced_work");
 }
 
+// A literal failpoint name registered in this tree's catalog
+// (src/util/failpoint.cc) is the compliant shape; the macro definition (a
+// preprocessor line) and the name CRASHSIM_FAILPOINT("x") in a comment are
+// out of the rule's scope.
+#define CRASHSIM_FAILPOINT(name) (void)(name)
+void FaultInjectedWork() {
+  CRASHSIM_FAILPOINT("demo.site");
+}
+
 }  // namespace crashsim

@@ -1,0 +1,23 @@
+// Fixture: failpoint sites the failpoint-catalog rule must reject — a
+// non-literal name (the lint cannot check it against the catalog) and a
+// literal that is not registered in src/util/failpoint.cc.
+
+#define CRASHSIM_FAILPOINT(name) (void)(name)
+#define CRASHSIM_FAILPOINT_THROW(name) (void)(name)
+
+namespace crashsim {
+
+void FailpointWithVariable(const char* site_name) {
+  CRASHSIM_FAILPOINT(site_name);  // MUST-FAIL
+}
+
+void FailpointNotInCatalog() {
+  CRASHSIM_FAILPOINT_THROW("demo.unregistered");  // MUST-FAIL
+}
+
+// Registered names stay silent even in the dirty tree.
+void FailpointRegistered() {
+  CRASHSIM_FAILPOINT("demo.site");
+}
+
+}  // namespace crashsim

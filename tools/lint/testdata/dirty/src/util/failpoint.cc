@@ -1,0 +1,11 @@
+// Fixture: the dirty tree's failpoint catalog. Registers demo.site only, so
+// bad_failpoint.cc's unregistered name is a finding. This file itself must
+// lint clean.
+
+namespace crashsim {
+
+const char* const kFailpointCatalog[] = {
+    "demo.site",
+};
+
+}  // namespace crashsim
