@@ -42,6 +42,11 @@ Counter& ExpiredInQueueCounter() {
       MetricsRegistry::Global().counter("executor.expired_in_queue");
   return c;
 }
+Counter& CancelledInQueueCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("executor.cancelled_in_queue");
+  return c;
+}
 Counter& DegradedCounter() {
   static Counter& c = MetricsRegistry::Global().counter("executor.degraded");
   return c;
@@ -87,9 +92,10 @@ Status ExecutorOptions::Validate() const {
         StrFormat("degrade_min_fraction must be in (0, 1], got %g",
                   degrade_min_fraction));
   }
-  if (max_retries < 0) {
+  if (max_retries < 0 || max_retries > kMaxRetriesLimit) {
     return InvalidArgumentError(
-        StrFormat("max_retries must be >= 0, got %d", max_retries));
+        StrFormat("max_retries must be in [0, %d], got %d", kMaxRetriesLimit,
+                  max_retries));
   }
   if (retry_backoff_ms < 0) {
     return InvalidArgumentError(
@@ -186,6 +192,7 @@ QueryOutcome QueryExecutor::Execute(const QueryRequest& request) {
         if (ctx->cancelled()) {
           --queued_;
           cancelled_in_queue_.fetch_add(1, std::memory_order_relaxed);
+          CancelledInQueueCounter().Add(1);
           outcome.result.status =
               CancelledError("query cancelled while queued for admission");
           return outcome;
@@ -260,8 +267,16 @@ QueryOutcome QueryExecutor::Execute(const QueryRequest& request) {
     if (status.ok() || status.code() != StatusCode::kUnavailable) break;
     if (attempt >= options_.max_retries) break;
     if (ctx->cancelled()) break;
-    int64_t backoff_ms =
-        std::min<int64_t>(options_.retry_backoff_ms << attempt, 100);
+    // Exponential backoff capped at 100 ms, computed by doubling instead of
+    // `retry_backoff_ms << attempt`: a left shift by >= 63 is undefined even
+    // when the shifted value is zero, and attempt is bounded only by
+    // max_retries (user-configurable up to 1000).
+    constexpr int64_t kMaxBackoffMs = 100;
+    int64_t backoff_ms = std::min(options_.retry_backoff_ms, kMaxBackoffMs);
+    for (int i = 0; i < attempt && backoff_ms > 0 && backoff_ms < kMaxBackoffMs;
+         ++i) {
+      backoff_ms = std::min(backoff_ms * 2, kMaxBackoffMs);
+    }
     if (ctx->has_deadline()) {
       const double slack = SecondsUntil(ctx->deadline());
       if (slack <= 0.0) break;  // the deadline would eat the retry anyway

@@ -44,7 +44,9 @@ struct ExecutorOptions {
   // Floor for the degraded trial fraction, in (0, 1].
   double degrade_min_fraction = 0.25;
   // Retry budget for queries that fail with kUnavailable (transient faults,
-  // e.g. failpoint-injected ones). 0 disables retries.
+  // e.g. failpoint-injected ones). 0 disables retries; Validate() rejects
+  // values above kMaxRetriesLimit.
+  static constexpr int kMaxRetriesLimit = 1000;
   int max_retries = 2;
   // Initial retry backoff; doubles per retry, capped at 100 ms, and never
   // sleeps past the query deadline.

@@ -1,0 +1,175 @@
+#include "core/tree_cache.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/trace.h"
+
+namespace crashsim {
+namespace {
+
+Counter& HitsCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("cache.hits");
+  return c;
+}
+Counter& MissesCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("cache.misses");
+  return c;
+}
+Counter& CoalescedCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("cache.coalesced");
+  return c;
+}
+Counter& EvictionsCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("cache.evictions");
+  return c;
+}
+Gauge& BytesGauge() {
+  static Gauge& g = MetricsRegistry::Global().gauge("cache.bytes");
+  return g;
+}
+Gauge& TreesGauge() {
+  static Gauge& g = MetricsRegistry::Global().gauge("cache.trees");
+  return g;
+}
+
+}  // namespace
+
+Status TreeCacheOptions::Validate() const {
+  if (!(c > 0.0 && c < 1.0)) {
+    return InvalidArgumentError(StrFormat("c must be in (0, 1), got %g", c));
+  }
+  if (prune_threshold < 0.0) {
+    return InvalidArgumentError(StrFormat(
+        "prune_threshold must be >= 0, got %g", prune_threshold));
+  }
+  if (capacity_bytes < 0) {
+    return InvalidArgumentError(
+        StrFormat("capacity_bytes must be >= 0, got %lld",
+                  static_cast<long long>(capacity_bytes)));
+  }
+  return OkStatus();
+}
+
+size_t TreeCache::KeyHash::operator()(const Key& k) const {
+  SplitMix64 mix((static_cast<uint64_t>(static_cast<uint32_t>(k.source))
+                  << 32) ^
+                 (static_cast<uint64_t>(static_cast<uint32_t>(k.l_max))
+                  << 1) ^
+                 static_cast<uint64_t>(k.mode));
+  return static_cast<size_t>(mix.Next());
+}
+
+TreeCache::TreeCache(const Graph* g, const TreeCacheOptions& options)
+    : graph_(g), options_(options) {
+  CRASHSIM_CHECK(g != nullptr) << "TreeCache requires a bound graph";
+  if (Status s = options_.Validate(); !s.ok()) {
+    CRASHSIM_CHECK(false) << "invalid TreeCacheOptions: " << s.ToString();
+  }
+}
+
+StatusOr<TreeCache::TreePtr> TreeCache::GetOrBuild(NodeId source, int l_max,
+                                                   RevReachMode mode,
+                                                   QueryContext* ctx) {
+  TRACE_SPAN("tree_cache.get");
+  const Key key{source, l_max, mode};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = slots_.find(key);
+    if (it != slots_.end() && !it->second.building) {
+      ++hits_;
+      HitsCounter().Add(1);
+      // Refresh LRU position: this key is hot again.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.tree;
+    }
+    if (it != slots_.end()) {
+      // Another query is building this tree right now: coalesce onto it.
+      // Bounded waits so this query's own deadline/cancellation is honoured
+      // promptly even if the builder stalls.
+      ++coalesced_;
+      CoalescedCounter().Add(1);
+      for (;;) {
+        built_.wait_for(lock, std::chrono::milliseconds(5));
+        if (ctx != nullptr) {
+          if (Status s = ctx->Check(); !s.ok()) {
+            return s.WithContext("waiting for shared revReach build");
+          }
+        }
+        auto again = slots_.find(key);
+        if (again == slots_.end()) break;  // build failed: retry from the top
+        if (!again->second.building) {
+          lru_.splice(lru_.begin(), lru_, again->second.lru_it);
+          return again->second.tree;
+        }
+      }
+      continue;
+    }
+
+    // This query becomes the builder. Publish the in-flight slot, then build
+    // outside the lock so waiters and unrelated keys are not serialised
+    // behind an O(l_max * m) build.
+    ++misses_;
+    MissesCounter().Add(1);
+    slots_.emplace(key, Slot{});
+    lock.unlock();
+    StatusOr<ReverseReachableTree> built =
+        BuildRevReach(*graph_, source, l_max, options_.c, mode,
+                      options_.prune_threshold, ctx);
+    lock.lock();
+    if (!built.ok()) {
+      // Never cache a failed/partial build; wake waiters so one of them can
+      // retry as the new builder.
+      slots_.erase(key);
+      built_.notify_all();
+      return built.status().WithContext("shared revReach build");
+    }
+    auto tree =
+        std::make_shared<const ReverseReachableTree>(std::move(built).value());
+    Slot& slot = slots_[key];
+    slot.tree = tree;
+    slot.bytes = tree->MemoryBytes();
+    slot.building = false;
+    lru_.push_front(key);
+    slot.lru_it = lru_.begin();
+    bytes_ += slot.bytes;
+    EvictOverCapacityLocked();
+    BytesGauge().Set(bytes_);
+    TreesGauge().Set(static_cast<int64_t>(lru_.size()));
+    built_.notify_all();
+    return tree;
+  }
+}
+
+void TreeCache::EvictOverCapacityLocked() {
+  if (options_.capacity_bytes == 0) return;
+  while (bytes_ > options_.capacity_bytes && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = slots_.find(victim);
+    CRASHSIM_CHECK(it != slots_.end() && !it->second.building)
+        << "LRU entry without a built slot";
+    bytes_ -= it->second.bytes;
+    slots_.erase(it);
+    ++evictions_;
+    EvictionsCounter().Add(1);
+  }
+}
+
+TreeCache::Stats TreeCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.coalesced = coalesced_;
+  s.evictions = evictions_;
+  s.bytes = bytes_;
+  s.trees = static_cast<int64_t>(lru_.size());
+  return s;
+}
+
+}  // namespace crashsim

@@ -1,0 +1,44 @@
+#ifndef CRASHSIM_SERVE_PROTOCOL_H_
+#define CRASHSIM_SERVE_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace crashsim {
+
+// Length-prefixed framing for the crashsim_serve wire protocol
+// (docs/SERVING.md): each frame is a 4-byte big-endian payload length
+// followed by that many bytes of UTF-8 JSON. Both sides speak the same
+// frames; a connection is a sequence of request frames answered in order by
+// response frames.
+//
+// All functions handle partial reads/writes and EINTR, and never raise
+// SIGPIPE (sends use MSG_NOSIGNAL). Error taxonomy:
+//   kUnavailable       clean EOF at a frame boundary (peer closed; the
+//                      normal end of a connection, not a fault)
+//   kDataLoss          EOF or error mid-frame (truncated stream)
+//   kResourceExhausted frame length exceeds max_bytes
+//   kCancelled         *stop flipped true while waiting for bytes
+
+// Hard ceiling a frame may declare, shared by both directions. Large enough
+// for a full single-source score vector on the bench graphs, small enough
+// that a hostile length prefix cannot make the server allocate blindly.
+inline constexpr uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+// Writes one frame. Blocks until fully written or the connection fails.
+[[nodiscard]] Status WriteFrame(int fd, std::string_view payload);
+
+// Reads one frame. `stop` (nullable) is polled between 50 ms waits so a
+// server draining for shutdown can abandon an idle connection promptly;
+// a frame whose bytes have started arriving is still read to completion.
+[[nodiscard]] StatusOr<std::string> ReadFrame(
+    int fd, uint32_t max_bytes = kMaxFramePayloadBytes,
+    const std::atomic<bool>* stop = nullptr);
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_SERVE_PROTOCOL_H_

@@ -1,0 +1,594 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/baseline_temporal.h"
+#include "core/crashsim_t.h"
+#include "core/temporal_query.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+#include "util/top_k.h"
+#include "util/trace.h"
+
+namespace crashsim {
+namespace {
+
+Counter& RequestsCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("serve.requests");
+  return c;
+}
+Counter& ErrorsCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("serve.errors");
+  return c;
+}
+Counter& ConnectionsCounter() {
+  static Counter& c = MetricsRegistry::Global().counter("serve.connections");
+  return c;
+}
+FixedHistogram& TopKLatencyHistogram() {
+  static FixedHistogram& h = MetricsRegistry::Global().histogram(
+      "serve.topk_ms", ExponentialBuckets(1, 2.0, 14));
+  return h;
+}
+FixedHistogram& TemporalLatencyHistogram() {
+  static FixedHistogram& h = MetricsRegistry::Global().histogram(
+      "serve.temporal_ms", ExponentialBuckets(1, 2.0, 14));
+  return h;
+}
+
+// Binds a listening TCP socket on host:port (port 0 = ephemeral). On
+// success stores the fd and the actually bound port.
+Status BindListener(const std::string& host, int port, int* out_fd,
+                    int* out_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError(
+        StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return InvalidArgumentError("invalid listen address " + host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = UnavailableError(StrFormat(
+        "bind %s:%d failed: %s", host.c_str(), port, std::strerror(errno)));
+    close(fd);
+    return s;
+  }
+  if (listen(fd, 128) != 0) {
+    const Status s = UnavailableError(
+        StrFormat("listen failed: %s", std::strerror(errno)));
+    close(fd);
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const Status s = UnavailableError(
+        StrFormat("getsockname failed: %s", std::strerror(errno)));
+    close(fd);
+    return s;
+  }
+  *out_fd = fd;
+  *out_port = static_cast<int>(ntohs(bound.sin_port));
+  return OkStatus();
+}
+
+// Polls fd for readability in 50 ms slices until stop flips. Returns true
+// when readable, false on stop / unrecoverable poll error.
+bool WaitAcceptable(int fd, const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, 50);
+    if (rc < 0 && errno != EINTR) return false;
+    if (rc > 0) return true;
+  }
+  return false;
+}
+
+JsonValue ErrorResponse(const Status& status, const JsonValue* request) {
+  JsonValue response = JsonValue::Object();
+  if (request != nullptr) {
+    if (const JsonValue* id = request->Find("id"); id != nullptr) {
+      response.Set("id", *id);
+    }
+  }
+  response.Set("status", JsonValue(std::string(StatusCodeName(status.code()))));
+  response.Set("message", JsonValue(status.message()));
+  return response;
+}
+
+}  // namespace
+
+Status ServerOptions::Validate() const {
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError(StrFormat("port must be in [0, 65535], got %d",
+                                          port));
+  }
+  if (metrics_port < -1 || metrics_port > 65535) {
+    return InvalidArgumentError(StrFormat(
+        "metrics_port must be in [-1, 65535], got %d", metrics_port));
+  }
+  if (max_connections < 1) {
+    return InvalidArgumentError(StrFormat(
+        "max_connections must be >= 1, got %d", max_connections));
+  }
+  if (max_k < 1) {
+    return InvalidArgumentError(
+        StrFormat("max_k must be >= 1, got %lld",
+                  static_cast<long long>(max_k)));
+  }
+  if (default_timeout_ms < 0) {
+    return InvalidArgumentError(
+        StrFormat("default_timeout_ms must be >= 0, got %lld",
+                  static_cast<long long>(default_timeout_ms)));
+  }
+  RETURN_IF_ERROR(executor.Validate().WithContext("executor options"));
+  RETURN_IF_ERROR(engine.Validate().WithContext("engine options"));
+  TreeCacheOptions aligned = cache;
+  aligned.c = engine.mc.c;
+  aligned.prune_threshold = engine.tree_prune_threshold;
+  RETURN_IF_ERROR(aligned.Validate().WithContext("cache options"));
+  return OkStatus();
+}
+
+Server::Server(LoadedGraph graph, std::optional<LoadedTemporalGraph> temporal,
+               const ServerOptions& options)
+    : graph_(std::move(graph)),
+      temporal_(std::move(temporal)),
+      options_(options) {
+  for (size_t i = 0; i < graph_.original_ids.size(); ++i) {
+    id_map_.emplace(graph_.original_ids[i], static_cast<NodeId>(i));
+  }
+  engine_ = std::make_unique<CrashSim>(options_.engine);
+  engine_->Bind(&graph_.graph);
+  TreeCacheOptions cache_options = options_.cache;
+  cache_options.c = options_.engine.mc.c;
+  cache_options.prune_threshold = options_.engine.tree_prune_threshold;
+  cache_ = std::make_unique<TreeCache>(&graph_.graph, cache_options);
+  executor_ = std::make_unique<QueryExecutor>(options_.executor);
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  RETURN_IF_ERROR(options_.Validate());
+  RETURN_IF_ERROR(
+      BindListener(options_.host, options_.port, &listen_fd_, &port_));
+  if (options_.metrics_port >= 0) {
+    Status s = BindListener(options_.host, options_.metrics_port, &metrics_fd_,
+                            &metrics_port_);
+    if (!s.ok()) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  CRASHSIM_LOG(Info) << "crashsim_serve listening on " << options_.host << ":"
+                     << port_ << " (metrics port " << metrics_port_ << ", "
+                     << graph_.graph.num_nodes() << " nodes, "
+                     << graph_.graph.num_edges() << " edges)";
+  return OkStatus();
+}
+
+void Server::Shutdown() {
+  bool expected = false;
+  if (!shutdown_done_.compare_exchange_strong(expected, true)) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (metrics_fd_ >= 0) {
+    close(metrics_fd_);
+    metrics_fd_ = -1;
+  }
+  std::vector<std::unique_ptr<Connection>> pending;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    pending.swap(connections_);
+  }
+  for (const auto& conn : pending) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (WaitAcceptable(listen_fd_, stop_)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    ConnectionsCounter().Add(1);
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    // Reap finished connection threads so a long-lived server does not
+    // accumulate one joinable handle per connection it ever served.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread([this, fd, raw] {
+      ServeConnection(fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  for (;;) {
+    StatusOr<std::string> payload =
+        ReadFrame(fd, kMaxFramePayloadBytes, &stop_);
+    if (!payload.ok()) {
+      // kUnavailable: the peer closed between frames (normal end).
+      // kCancelled: shutdown while idle. Anything else is a framing fault;
+      // best-effort report it, then drop the connection either way.
+      if (payload.status().code() != StatusCode::kUnavailable &&
+          payload.status().code() != StatusCode::kCancelled) {
+        (void)WriteFrame(fd, ErrorResponse(payload.status(), nullptr).Write());
+      }
+      break;
+    }
+    // A request that started before shutdown is answered in full (the drain
+    // guarantee); the loop re-checks stop_ at the next ReadFrame.
+    const std::string response = HandleRequest(*payload);
+    if (Status s = WriteFrame(fd, response); !s.ok()) break;
+  }
+  close(fd);
+}
+
+std::string Server::HandleRequest(const std::string& payload) {
+  TRACE_SPAN("serve.request");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RequestsCounter().Add(1);
+  StatusOr<JsonValue> parsed = ParseJson(payload);
+  if (!parsed.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    ErrorsCounter().Add(1);
+    return ErrorResponse(parsed.status(), nullptr).Write();
+  }
+  if (!parsed->is_object()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    ErrorsCounter().Add(1);
+    return ErrorResponse(
+               InvalidArgumentError("request must be a JSON object"),
+               nullptr)
+        .Write();
+  }
+  const std::string op = parsed->GetString("op", "");
+  std::string response;
+  if (op == "ping") {
+    JsonValue pong = JsonValue::Object();
+    if (const JsonValue* id = parsed->Find("id"); id != nullptr) {
+      pong.Set("id", *id);
+    }
+    pong.Set("status", JsonValue(std::string("OK")));
+    pong.Set("op", JsonValue(std::string("ping")));
+    response = pong.Write();
+  } else if (op == "topk") {
+    response = HandleTopK(*parsed);
+  } else if (op == "temporal") {
+    response = HandleTemporal(*parsed);
+  } else {
+    response = ErrorResponse(
+                   InvalidArgumentError(
+                       "unknown op '" + op +
+                       "' (expected ping | topk | temporal)"),
+                   &*parsed)
+                   .Write();
+  }
+  // Count any non-OK response uniformly, whatever handler produced it.
+  if (response.find("\"status\":\"OK\"") == std::string::npos) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    ErrorsCounter().Add(1);
+  }
+  return response;
+}
+
+std::string Server::HandleTopK(const JsonValue& request) {
+  TRACE_SPAN("serve.topk");
+  const Stopwatch timer;
+  const int64_t original_source = request.GetInt("source", -1);
+  const auto it = id_map_.find(original_source);
+  if (it == id_map_.end()) {
+    return ErrorResponse(
+               NotFoundError(StrFormat("source id %lld not present in the "
+                                       "graph",
+                                       static_cast<long long>(original_source))),
+               &request)
+        .Write();
+  }
+  const NodeId source = it->second;
+  const int64_t k = request.GetInt("k", 10);
+  if (k < 1 || k > options_.max_k) {
+    return ErrorResponse(
+               InvalidArgumentError(StrFormat(
+                   "k must be in [1, %lld], got %lld",
+                   static_cast<long long>(options_.max_k),
+                   static_cast<long long>(k))),
+               &request)
+        .Write();
+  }
+  const int64_t timeout_ms =
+      request.GetInt("timeout_ms", options_.default_timeout_ms);
+  if (timeout_ms < 0) {
+    return ErrorResponse(InvalidArgumentError("timeout_ms must be >= 0"),
+                         &request)
+        .Write();
+  }
+
+  // QueryContext is neither copyable nor movable; emplace the right ctor.
+  std::optional<QueryContext> ctx;
+  if (timeout_ms > 0) {
+    ctx.emplace(std::chrono::milliseconds(timeout_ms));
+  } else {
+    ctx.emplace();
+  }
+  QueryRequest query;
+  query.ctx = &*ctx;
+  query.run = [this, source](QueryContext* run_ctx) -> PartialResult {
+    // Shared-tree fast path: one BuildRevReach per hot source process-wide;
+    // scoring against the shared tree is bit-identical to an uncached
+    // SingleSource (the tree build is deterministic in the key + cache
+    // params, and trial streams derive from (seed, source, candidate)).
+    StatusOr<TreeCache::TreePtr> tree = cache_->GetOrBuild(
+        source, engine_->LMax(), options_.engine.mode, run_ctx);
+    if (!tree.ok()) {
+      PartialResult r;
+      r.status = tree.status();
+      return r;
+    }
+    std::vector<NodeId> all(static_cast<size_t>(graph_.graph.num_nodes()));
+    std::iota(all.begin(), all.end(), 0);
+    return engine_->PartialWithTree(**tree, all, run_ctx);
+  };
+  const QueryOutcome outcome = executor_->Execute(query);
+  const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+  TopKLatencyHistogram().Record(static_cast<int64_t>(elapsed_ms));
+
+  if (outcome.result.scores.empty()) {
+    // Shed or failed before any scores existed: plain error response, with
+    // the admission outcome attached for the client's retry policy.
+    JsonValue response = ErrorResponse(outcome.result.status, &request);
+    response.Set("admitted", JsonValue(outcome.admitted));
+    return response.Write();
+  }
+
+  TopK<NodeId> selector(static_cast<size_t>(k));
+  for (NodeId v = 0; v < graph_.graph.num_nodes(); ++v) {
+    if (v != source) {
+      selector.Offer(outcome.result.scores[static_cast<size_t>(v)], v);
+    }
+  }
+  JsonValue nodes = JsonValue::Array();
+  JsonValue scores = JsonValue::Array();
+  for (const auto& [score, v] : selector.Sorted()) {
+    nodes.Append(JsonValue(graph_.original_ids[static_cast<size_t>(v)]));
+    scores.Append(JsonValue(score));
+  }
+  JsonValue response = JsonValue::Object();
+  if (const JsonValue* id = request.Find("id"); id != nullptr) {
+    response.Set("id", *id);
+  }
+  response.Set("status", JsonValue(std::string(
+                             StatusCodeName(outcome.result.status.code()))));
+  if (!outcome.result.status.ok()) {
+    response.Set("message", JsonValue(outcome.result.status.message()));
+  }
+  response.Set("op", JsonValue(std::string("topk")));
+  response.Set("source", JsonValue(original_source));
+  response.Set("k", JsonValue(k));
+  response.Set("nodes", std::move(nodes));
+  response.Set("scores", std::move(scores));
+  response.Set("trials_done", JsonValue(outcome.result.trials_done));
+  response.Set("trials_target", JsonValue(outcome.result.trials_target));
+  response.Set("epsilon_achieved", JsonValue(outcome.result.epsilon_achieved));
+  response.Set("degraded", JsonValue(outcome.degraded));
+  response.Set("trial_fraction", JsonValue(outcome.trial_fraction));
+  response.Set("retries", JsonValue(static_cast<int64_t>(outcome.retries)));
+  response.Set("queue_wait_ms",
+               JsonValue(outcome.queue_wait_seconds * 1e3));
+  response.Set("run_ms", JsonValue(outcome.run_seconds * 1e3));
+  return response.Write();
+}
+
+std::string Server::HandleTemporal(const JsonValue& request) {
+  TRACE_SPAN("serve.temporal");
+  const Stopwatch timer;
+  if (!temporal_.has_value()) {
+    return ErrorResponse(
+               InvalidArgumentError(
+                   "server was started without a temporal graph"),
+               &request)
+        .Write();
+  }
+  const TemporalGraph& tg = temporal_->graph;
+  const int64_t original_source = request.GetInt("source", -1);
+  NodeId source = -1;
+  for (size_t i = 0; i < temporal_->original_ids.size(); ++i) {
+    if (temporal_->original_ids[i] == original_source) {
+      source = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  if (source < 0) {
+    return ErrorResponse(
+               NotFoundError(StrFormat(
+                   "source id %lld not present in the temporal graph",
+                   static_cast<long long>(original_source))),
+               &request)
+        .Write();
+  }
+
+  TemporalQuery query;
+  query.source = source;
+  query.begin_snapshot = static_cast<int>(request.GetInt("begin", 0));
+  const int64_t end = request.GetInt("end", -1);
+  query.end_snapshot =
+      end < 0 ? tg.num_snapshots() - 1 : static_cast<int>(end);
+  query.theta = request.GetDouble("theta", 0.05);
+  query.trend_tolerance = request.GetDouble("tolerance", 0.0);
+  const std::string kind = request.GetString("kind", "threshold");
+  if (kind == "threshold") {
+    query.kind = TemporalQueryKind::kThreshold;
+  } else if (kind == "increasing") {
+    query.kind = TemporalQueryKind::kTrendIncreasing;
+  } else if (kind == "decreasing") {
+    query.kind = TemporalQueryKind::kTrendDecreasing;
+  } else {
+    return ErrorResponse(
+               InvalidArgumentError("unknown kind '" + kind +
+                                    "' (threshold | increasing | decreasing)"),
+               &request)
+        .Write();
+  }
+  const int64_t timeout_ms =
+      request.GetInt("timeout_ms", options_.default_timeout_ms);
+  if (timeout_ms < 0) {
+    return ErrorResponse(InvalidArgumentError("timeout_ms must be >= 0"),
+                         &request)
+        .Write();
+  }
+
+  std::optional<QueryContext> ctx;
+  if (timeout_ms > 0) {
+    ctx.emplace(std::chrono::milliseconds(timeout_ms));
+  } else {
+    ctx.emplace();
+  }
+  CrashSimTOptions temporal_options;
+  temporal_options.crashsim = options_.engine;
+  TemporalAnswer answer;
+  QueryRequest query_request;
+  query_request.ctx = &*ctx;
+  query_request.run = [&](QueryContext* run_ctx) -> PartialResult {
+    // CrashSim-T keeps per-interval state, so each request gets its own
+    // engine instance (the static engine_ stays untouched).
+    CrashSimT engine(temporal_options);
+    answer = engine.Answer(tg, query, run_ctx);
+    PartialResult r;
+    r.status = answer.status;
+    return r;
+  };
+  const QueryOutcome outcome = executor_->Execute(query_request);
+  const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+  TemporalLatencyHistogram().Record(static_cast<int64_t>(elapsed_ms));
+
+  if (!outcome.admitted) {
+    JsonValue response = ErrorResponse(outcome.result.status, &request);
+    response.Set("admitted", JsonValue(false));
+    return response.Write();
+  }
+  JsonValue nodes = JsonValue::Array();
+  for (const NodeId v : answer.nodes) {
+    nodes.Append(JsonValue(temporal_->original_ids[static_cast<size_t>(v)]));
+  }
+  JsonValue response = JsonValue::Object();
+  if (const JsonValue* id = request.Find("id"); id != nullptr) {
+    response.Set("id", *id);
+  }
+  response.Set("status", JsonValue(std::string(
+                             StatusCodeName(outcome.result.status.code()))));
+  if (!outcome.result.status.ok()) {
+    response.Set("message", JsonValue(outcome.result.status.message()));
+  }
+  response.Set("op", JsonValue(std::string("temporal")));
+  response.Set("source", JsonValue(original_source));
+  response.Set("kind", JsonValue(kind));
+  response.Set("begin", JsonValue(static_cast<int64_t>(query.begin_snapshot)));
+  response.Set("end", JsonValue(static_cast<int64_t>(query.end_snapshot)));
+  response.Set("nodes", std::move(nodes));
+  response.Set("snapshots_processed",
+               JsonValue(static_cast<int64_t>(
+                   answer.stats.snapshots_processed)));
+  response.Set("scores_computed", JsonValue(answer.stats.scores_computed));
+  response.Set("retries", JsonValue(static_cast<int64_t>(outcome.retries)));
+  return response.Write();
+}
+
+void Server::MetricsLoop() {
+  while (WaitAcceptable(metrics_fd_, stop_)) {
+    const int fd = accept(metrics_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    // Minimal HTTP: read the request head (best effort), answer one GET.
+    char buf[4096];
+    const ssize_t n = recv(fd, buf, sizeof(buf) - 1, 0);
+    std::string head = n > 0 ? std::string(buf, static_cast<size_t>(n)) : "";
+    std::string body;
+    std::string status_line;
+    if (head.rfind("GET /metrics", 0) == 0) {
+      body = MetricsRegistry::Global().ExportPrometheusText();
+      status_line = "HTTP/1.1 200 OK";
+    } else {
+      body = "only GET /metrics is served here\n";
+      status_line = "HTTP/1.1 404 Not Found";
+    }
+    const std::string response = StrFormat(
+        "%s\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        status_line.c_str(), body.size());
+    (void)send(fd, response.data(), response.size(), MSG_NOSIGNAL);
+    (void)send(fd, body.data(), body.size(), MSG_NOSIGNAL);
+    close(fd);
+  }
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace crashsim

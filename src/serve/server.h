@@ -1,0 +1,145 @@
+#ifndef CRASHSIM_SERVE_SERVER_H_
+#define CRASHSIM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/crashsim.h"
+#include "core/executor.h"
+#include "core/tree_cache.h"
+#include "graph/graph_io.h"
+#include "util/status.h"
+
+namespace crashsim {
+
+// crashsim_serve: the always-on query service (ROADMAP item 1, PR 7).
+//
+// One process binds a static graph (and optionally its temporal variant)
+// once, then answers any number of concurrent top-k and temporal queries
+// over a length-prefixed JSON protocol (serve/protocol.h, docs/SERVING.md).
+// Every query routes through the PR-6 QueryExecutor — admission queue,
+// deadline shedding, degradation, retries, MemoryBudget — and top-k queries
+// share revReach trees through the TreeCache, so N concurrent queries on a
+// hot source run one BuildRevReach, not N.
+//
+// Determinism contract: with degradation disabled (degrade_at = 0) a topk
+// response is bit-identical to `crashsim_cli topk` on the same graph with
+// the same seed/options — the ctx-path scores are a pure function of
+// (seed, source, candidate) and the shared tree is bit-identical to a
+// per-query build. The CI smoke lane diffs exactly that.
+//
+// A second listener serves GET /metrics in Prometheus text format for
+// scraping (cache.*, executor.*, serve.* and everything else in the
+// registry).
+
+struct ServerOptions {
+  // TCP listen address. Port 0 binds an ephemeral port (tests, smoke);
+  // the bound port is reported by port() after Start().
+  std::string host = "127.0.0.1";
+  int port = 0;
+  // /metrics HTTP listener; port 0 = ephemeral, -1 disables the listener.
+  int metrics_port = 0;
+  // Accepted connections beyond this are closed immediately after accept
+  // (the executor's admission queue guards query concurrency; this guards
+  // thread count).
+  int max_connections = 64;
+  // Hard ceiling on requested k.
+  int64_t max_k = 1'000'000;
+  // Deadline applied to requests that do not carry timeout_ms; 0 = none.
+  int64_t default_timeout_ms = 0;
+
+  ExecutorOptions executor;
+  // capacity_bytes is honoured; c / prune_threshold are overridden from the
+  // engine options so cache keys can never disagree with the engine.
+  TreeCacheOptions cache;
+  CrashSimOptions engine;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+class Server {
+ public:
+  // Takes ownership of the loaded graph(s). `temporal` may be empty; the
+  // temporal endpoint then answers kInvalidArgument.
+  Server(LoadedGraph graph, std::optional<LoadedTemporalGraph> temporal,
+         const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the listeners and spawns the accept threads. kUnavailable when a
+  // port cannot be bound, kInvalidArgument on bad options.
+  [[nodiscard]] Status Start();
+
+  // Graceful shutdown: stop accepting, let every in-flight request finish
+  // and flush its response, then join all connection threads. Idempotent.
+  void Shutdown();
+
+  // Bound ports, valid after Start() (0 / -1 when not listening).
+  int port() const { return port_; }
+  int metrics_port() const { return metrics_port_; }
+
+  struct Stats {
+    int64_t connections_accepted = 0;
+    int64_t connections_rejected = 0;
+    int64_t requests = 0;
+    int64_t errors = 0;  // responses with a non-OK status
+  };
+  Stats stats() const;
+
+  const TreeCache& tree_cache() const { return *cache_; }
+  const QueryExecutor& executor() const { return *executor_; }
+
+ private:
+  void AcceptLoop();
+  void MetricsLoop();
+  void ServeConnection(int fd);
+  // Handles one parsed request; always returns a response object.
+  std::string HandleRequest(const std::string& payload);
+  std::string HandleTopK(const class JsonValue& request);
+  std::string HandleTemporal(const class JsonValue& request);
+
+  const LoadedGraph graph_;
+  const std::optional<LoadedTemporalGraph> temporal_;
+  const ServerOptions options_;
+  std::unordered_map<int64_t, NodeId> id_map_;  // original id -> internal
+
+  std::unique_ptr<CrashSim> engine_;       // shared; ctx-path is thread-safe
+  std::unique_ptr<TreeCache> cache_;
+  std::unique_ptr<QueryExecutor> executor_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shutdown_done_{false};
+  int listen_fd_ = -1;
+  int metrics_fd_ = -1;
+  int port_ = 0;
+  int metrics_port_ = -1;
+  std::thread accept_thread_;
+  std::thread metrics_thread_;
+  // One entry per spawned connection thread; `done` lets the accept loop
+  // reap finished threads instead of holding every handle until shutdown.
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;  // under conn_mu_
+  std::atomic<int> active_connections_{0};
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_rejected_{0};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> errors_{0};
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_SERVE_SERVER_H_

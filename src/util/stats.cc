@@ -54,6 +54,19 @@ double PercentileSorted(const std::vector<double>& sorted, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+double PercentileNearestRank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  // ceil(q * n) as the 1-based rank; the subtraction happens after the
+  // clamp so rank 0 (q tiny) still lands on the first element.
+  const double n = static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(std::ceil(q * n));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
 SampleSummary Summarize(const std::vector<double>& values) {
   SampleSummary s;
   if (values.empty()) return s;

@@ -1,0 +1,172 @@
+// Tier-2 accounting audit for QueryExecutor: every submitted query must be
+// claimed by exactly one disposition counter, i.e.
+//
+//   submitted == admitted + shed_queue_full + shed_deadline
+//              + expired_in_queue + cancelled_in_queue
+//
+// under a many-submitter mix of fast, slow, tight-deadline, and cancelled
+// queries. Any drift means a shed path returned without incrementing its
+// counter (or double-counted), which would silently skew the executor.*
+// metrics the serving layer alarms on.
+
+#include "core/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace crashsim {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::microseconds;
+
+PartialResult OkResult() {
+  PartialResult r;
+  r.scores = {1.0};
+  r.trials_done = r.trials_target = 1;
+  return r;
+}
+
+int64_t Dispositions(const QueryExecutor::Stats& s) {
+  return s.admitted + s.shed_queue_full + s.shed_deadline +
+         s.expired_in_queue + s.cancelled_in_queue;
+}
+
+// 16 submitters against a 2-slot, 4-deep executor. Each submitter rotates
+// through four query shapes chosen to exercise every disposition path:
+//  - fast OK queries (admitted -> completed),
+//  - slow queries that hold slots so others queue and shed,
+//  - tight-deadline queries (shed by projection or expired while queued),
+//  - queries cancelled from a side thread while they wait.
+TEST(ExecutorStressTest, SubmittedEqualsSumOfDispositions) {
+  ExecutorOptions opt;
+  opt.max_concurrent = 2;
+  opt.max_queue = 4;
+  opt.degrade_at = 1.5;
+  opt.max_retries = 1;
+  QueryExecutor executor(opt);
+
+  constexpr int kSubmitters = 16;
+  constexpr int kQueriesPer = 40;
+  std::atomic<int64_t> local_submitted{0};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(1000 + t));
+      for (int q = 0; q < kQueriesPer; ++q) {
+        const int shape = static_cast<int>(rng.NextU64() % 4);
+        local_submitted.fetch_add(1, std::memory_order_relaxed);
+        switch (shape) {
+          case 0: {  // fast
+            QueryRequest request;
+            request.run = [](QueryContext*) { return OkResult(); };
+            (void)executor.Execute(request);
+            break;
+          }
+          case 1: {  // slow slot-holder
+            QueryRequest request;
+            request.run = [](QueryContext*) {
+              std::this_thread::sleep_for(microseconds(500));
+              return OkResult();
+            };
+            (void)executor.Execute(request);
+            break;
+          }
+          case 2: {  // tight deadline: sheds at admission or expires queued
+            QueryContext ctx(milliseconds(1));
+            QueryRequest request;
+            request.ctx = &ctx;
+            request.run = [](QueryContext*) {
+              std::this_thread::sleep_for(microseconds(200));
+              return OkResult();
+            };
+            (void)executor.Execute(request);
+            break;
+          }
+          default: {  // cancelled from the side while (possibly) queued
+            QueryContext ctx;
+            std::thread canceller([&ctx] {
+              std::this_thread::sleep_for(microseconds(100));
+              ctx.Cancel();
+            });
+            QueryRequest request;
+            request.ctx = &ctx;
+            request.run = [](QueryContext* run_ctx) {
+              PartialResult r;
+              r.status = run_ctx->Check();
+              if (r.status.ok()) r = OkResult();
+              return r;
+            };
+            (void)executor.Execute(request);
+            canceller.join();
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  const QueryExecutor::Stats stats = executor.stats();
+  EXPECT_EQ(stats.submitted, local_submitted.load());
+  EXPECT_EQ(stats.submitted, kSubmitters * kQueriesPer);
+  EXPECT_EQ(stats.submitted, Dispositions(stats))
+      << "admitted " << stats.admitted << " shed_queue_full "
+      << stats.shed_queue_full << " shed_deadline " << stats.shed_deadline
+      << " expired_in_queue " << stats.expired_in_queue
+      << " cancelled_in_queue " << stats.cancelled_in_queue;
+  // Admitted queries in turn resolve to exactly one of completed/failed.
+  EXPECT_EQ(stats.admitted, stats.completed + stats.failed);
+  EXPECT_EQ(stats.running, 0);
+  EXPECT_EQ(stats.queued, 0);
+}
+
+// The same invariant must hold when the admission failpoint injects sheds:
+// an injected rejection books itself as shed_queue_full, never vanishes.
+TEST(ExecutorStressTest, InvariantHoldsUnderInjectedAdmissionFaults) {
+  FailpointScope failpoints(/*seed=*/7);
+  FailpointSpec spec;
+  spec.action = FailpointAction::kError;
+  spec.probability = 0.3;
+  spec.code = StatusCode::kResourceExhausted;
+  ASSERT_TRUE(ConfigureFailpoint("executor.admit", spec).ok());
+
+  ExecutorOptions opt;
+  opt.max_concurrent = 2;
+  opt.max_queue = 2;
+  QueryExecutor executor(opt);
+
+  constexpr int kSubmitters = 8;
+  constexpr int kQueriesPer = 50;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int q = 0; q < kQueriesPer; ++q) {
+        QueryRequest request;
+        request.run = [](QueryContext*) { return OkResult(); };
+        (void)executor.Execute(request);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  const QueryExecutor::Stats stats = executor.stats();
+  EXPECT_EQ(stats.submitted, kSubmitters * kQueriesPer);
+  EXPECT_EQ(stats.submitted, Dispositions(stats));
+  EXPECT_GT(stats.shed_queue_full, 0);  // the failpoint actually fired
+  EXPECT_EQ(stats.admitted, stats.completed + stats.failed);
+}
+
+}  // namespace
+}  // namespace crashsim

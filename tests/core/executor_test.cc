@@ -56,6 +56,12 @@ TEST(ExecutorOptionsTest, ValidateRejectsBadValues) {
   opt.max_retries = -1;
   EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
   opt = ExecutorOptions{};
+  opt.max_retries = ExecutorOptions::kMaxRetriesLimit + 1;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  opt = ExecutorOptions{};
+  opt.max_retries = ExecutorOptions::kMaxRetriesLimit;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt = ExecutorOptions{};
   opt.memory_budget_bytes = -1;
   EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
 }
@@ -301,6 +307,63 @@ TEST(ExecutorTest, ExhaustedRetryBudgetSurfacesUnavailable) {
   EXPECT_EQ(attempts, 3);  // initial + 2 retries
   EXPECT_EQ(outcome.retries, 2);
   EXPECT_EQ(executor.stats().failed, 1);
+}
+
+// Regression: the backoff used to be computed as `retry_backoff_ms <<
+// attempt`, a left shift that is undefined behaviour once attempt >= 63 —
+// reachable because max_retries is user-configurable. With 100 retries and a
+// zero base backoff the old code shifted by up to 100 (UBSan-visible); the
+// doubling loop must stay defined and the run must not sleep at all.
+TEST(ExecutorTest, HundredRetriesWithZeroBackoffIsDefinedAndFast) {
+  ExecutorOptions opt;
+  opt.max_retries = 100;
+  opt.retry_backoff_ms = 0;
+  QueryExecutor executor(opt);
+  int attempts = 0;
+  QueryRequest request;
+  request.run = [&](QueryContext*) {
+    ++attempts;
+    PartialResult r;
+    r.status = UnavailableError("always down");
+    return r;
+  };
+  const auto start = std::chrono::steady_clock::now();
+  const QueryOutcome outcome = executor.Execute(request);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(outcome.result.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(attempts, 101);  // initial + 100 retries
+  EXPECT_EQ(outcome.retries, 100);
+  EXPECT_LT(elapsed, 2.0);  // zero backoff: no 100 ms sleeps crept in
+}
+
+// With a non-zero base the doubling saturates at the 100 ms cap instead of
+// overflowing, and the deadline clamp keeps the total sleep inside the
+// query's slack: 100 retries at base 64 ms would otherwise sleep ~10 s.
+TEST(ExecutorTest, BackoffSaturatesAtCapUnderDeadline) {
+  ExecutorOptions opt;
+  opt.max_retries = 100;
+  opt.retry_backoff_ms = 64;  // doubles past the cap within two attempts
+  QueryExecutor executor(opt);
+  QueryContext ctx(milliseconds(80));
+  QueryRequest request;
+  request.ctx = &ctx;
+  int attempts = 0;
+  request.run = [&](QueryContext*) {
+    ++attempts;
+    PartialResult r;
+    r.status = UnavailableError("always down");
+    return r;
+  };
+  const auto start = std::chrono::steady_clock::now();
+  const QueryOutcome outcome = executor.Execute(request);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(outcome.result.status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(attempts, 2);  // at least one backed-off retry actually ran
+  EXPECT_LT(elapsed, 2.0);  // clamped to the 80 ms slack, not 100 * ~100 ms
 }
 
 TEST(ExecutorTest, NonTransientFailuresAreNotRetried) {

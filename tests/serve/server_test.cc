@@ -1,0 +1,379 @@
+#include "serve/server.h"
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/crashsim.h"
+#include "graph/generators.h"
+#include "graph/temporal_graph.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "util/top_k.h"
+
+namespace crashsim {
+namespace {
+
+using std::chrono::milliseconds;
+
+// An owned client connection to a test server.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return connected_; }
+
+  // One request/response round trip; returns the parsed response object.
+  StatusOr<JsonValue> Call(const JsonValue& request) {
+    RETURN_IF_ERROR(WriteFrame(fd_, request.Write()));
+    ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_));
+    return ParseJson(payload);
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+// 300-node graph with original ids offset by 1000, so tests exercise the
+// original<->internal id mapping rather than an identity one.
+LoadedGraph TestGraph() {
+  Rng rng(11);
+  LoadedGraph loaded;
+  loaded.graph = ErdosRenyi(300, 1500, /*undirected=*/false, &rng);
+  loaded.original_ids.resize(static_cast<size_t>(loaded.graph.num_nodes()));
+  std::iota(loaded.original_ids.begin(), loaded.original_ids.end(),
+            int64_t{1000});
+  return loaded;
+}
+
+LoadedTemporalGraph TestTemporalGraph() {
+  Rng rng(13);
+  TemporalGraphBuilder builder(40, /*undirected=*/true);
+  for (int t = 0; t < 4; ++t) {
+    const Graph g = ErdosRenyi(40, 120 + 10 * t, /*undirected=*/true, &rng);
+    builder.AddSnapshot(g.Edges());
+  }
+  LoadedTemporalGraph loaded;
+  loaded.graph = builder.Build();
+  loaded.original_ids.resize(static_cast<size_t>(loaded.graph.num_nodes()));
+  std::iota(loaded.original_ids.begin(), loaded.original_ids.end(),
+            int64_t{500});
+  return loaded;
+}
+
+ServerOptions TestServerOptions() {
+  ServerOptions opt;
+  opt.engine.mc.trials_override = 150;
+  opt.engine.mc.seed = 23;
+  // Deterministic responses: no degradation shrinking trial budgets.
+  opt.executor.degrade_at = 0.0;
+  opt.executor.max_concurrent = 8;
+  opt.executor.max_queue = 32;
+  opt.metrics_port = 0;
+  return opt;
+}
+
+JsonValue TopKRequest(int64_t source, int64_t k) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue(std::string("topk")));
+  request.Set("source", JsonValue(source));
+  request.Set("k", JsonValue(k));
+  return request;
+}
+
+TEST(ServerOptionsTest, ValidateRejectsBadValues) {
+  ServerOptions opt = TestServerOptions();
+  opt.port = 70000;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  opt = TestServerOptions();
+  opt.max_connections = 0;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  opt = TestServerOptions();
+  opt.max_k = 0;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  opt = TestServerOptions();
+  opt.executor.max_concurrent = 0;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(TestServerOptions().Validate().ok());
+}
+
+TEST(ServerTest, StartPingShutdown) {
+  Server server(TestGraph(), std::nullopt, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue(std::string("ping")));
+  request.Set("id", JsonValue(int64_t{42}));
+  StatusOr<JsonValue> response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->GetString("status", ""), "OK");
+  EXPECT_EQ(response->GetInt("id", -1), 42);
+
+  server.Shutdown();
+  server.Shutdown();  // idempotent
+}
+
+TEST(ServerTest, TopKIsBitIdenticalToDirectEngine) {
+  LoadedGraph loaded = TestGraph();
+  const ServerOptions options = TestServerOptions();
+
+  // Direct, uncached reference on an identically configured engine.
+  CrashSim reference(options.engine);
+  reference.Bind(&loaded.graph);
+  QueryContext ctx;
+  const NodeId source = 7;  // original id 1007
+  const PartialResult direct = reference.SingleSource(source, &ctx);
+  ASSERT_TRUE(direct.status.ok());
+  TopK<NodeId> selector(10);
+  for (NodeId v = 0; v < loaded.graph.num_nodes(); ++v) {
+    if (v != source) selector.Offer(direct.scores[static_cast<size_t>(v)], v);
+  }
+  const auto expected = selector.Sorted();
+
+  Server server(TestGraph(), std::nullopt, options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  StatusOr<JsonValue> response = client.Call(TopKRequest(1007, 10));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->GetString("status", ""), "OK");
+
+  const JsonValue* nodes = response->Find("nodes");
+  const JsonValue* scores = response->Find("scores");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_NE(scores, nullptr);
+  ASSERT_EQ(nodes->items().size(), expected.size());
+  ASSERT_EQ(scores->items().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(nodes->items()[i].as_int(),
+              loaded.original_ids[static_cast<size_t>(expected[i].second)]);
+    // %.17g serialisation round-trips doubles exactly: bit-identical.
+    EXPECT_EQ(scores->items()[i].as_number(), expected[i].first);
+  }
+  EXPECT_EQ(response->GetInt("trials_done", -1), direct.trials_done);
+  server.Shutdown();
+}
+
+TEST(ServerTest, UnknownSourceAndBadRequestsReportCleanErrors) {
+  Server server(TestGraph(), std::nullopt, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  StatusOr<JsonValue> response = client.Call(TopKRequest(99999, 5));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->GetString("status", ""), "NOT_FOUND");
+
+  response = client.Call(TopKRequest(1003, 0));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->GetString("status", ""), "INVALID_ARGUMENT");
+
+  JsonValue bad_op = JsonValue::Object();
+  bad_op.Set("op", JsonValue(std::string("frobnicate")));
+  response = client.Call(bad_op);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->GetString("status", ""), "INVALID_ARGUMENT");
+
+  // Temporal endpoint without a temporal graph loaded.
+  JsonValue temporal = JsonValue::Object();
+  temporal.Set("op", JsonValue(std::string("temporal")));
+  temporal.Set("source", JsonValue(int64_t{1003}));
+  response = client.Call(temporal);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->GetString("status", ""), "INVALID_ARGUMENT");
+
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, 4);
+  EXPECT_EQ(stats.errors, 4);
+  server.Shutdown();
+}
+
+TEST(ServerTest, MalformedFrameGetsErrorResponse) {
+  Server server(TestGraph(), std::nullopt, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // A valid frame whose payload is a JSON string, not an object.
+  StatusOr<JsonValue> response = client.Call(JsonValue(std::string("{nope")));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->GetString("status", ""), "INVALID_ARGUMENT");
+  server.Shutdown();
+}
+
+TEST(ServerTest, TemporalQueryRoundTrip) {
+  LoadedTemporalGraph temporal = TestTemporalGraph();
+  ServerOptions options = TestServerOptions();
+  options.engine.mc.trials_override = 80;
+
+  // Static graph is required; serve the first snapshot's projection.
+  LoadedGraph loaded;
+  loaded.graph = temporal.graph.Snapshot(0);
+  loaded.original_ids = temporal.original_ids;
+
+  Server server(std::move(loaded), TestTemporalGraph(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue(std::string("temporal")));
+  request.Set("source", JsonValue(int64_t{503}));
+  request.Set("kind", JsonValue(std::string("threshold")));
+  request.Set("theta", JsonValue(0.02));
+  StatusOr<JsonValue> response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->GetString("status", ""), "OK");
+  EXPECT_EQ(response->GetInt("snapshots_processed", -1), 4);
+  EXPECT_EQ(response->GetInt("begin", -1), 0);
+  EXPECT_EQ(response->GetInt("end", -1), 3);
+  const JsonValue* nodes = response->Find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  // Every answered node must be an original id of the temporal graph.
+  for (const JsonValue& node : nodes->items()) {
+    const int64_t id = node.as_int();
+    EXPECT_GE(id, 500);
+    EXPECT_LT(id, 540);
+  }
+  server.Shutdown();
+}
+
+TEST(ServerTest, ConcurrentHotSourceClientsShareOneTree) {
+  Server server(TestGraph(), std::nullopt, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  std::vector<std::string> replies(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client(server.port());
+      if (!client.connected()) return;
+      StatusOr<JsonValue> response = client.Call(TopKRequest(1007, 10));
+      if (!response.ok()) return;
+      // Keep only the semantic payload: timing fields legitimately differ
+      // between clients; the answer must not.
+      JsonValue semantic = JsonValue::Object();
+      for (const char* key : {"status", "nodes", "scores", "trials_done",
+                              "epsilon_achieved", "degraded"}) {
+        if (const JsonValue* v = response->Find(key); v != nullptr) {
+          semantic.Set(key, *v);
+        }
+      }
+      replies[static_cast<size_t>(i)] = semantic.Write();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // All clients answered, identically (scores are a pure function of
+  // (seed, source, candidate), shared tree or not).
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(replies[static_cast<size_t>(i)].empty()) << "client " << i;
+    EXPECT_EQ(replies[static_cast<size_t>(i)], replies[0]);
+  }
+  // One build; everyone else hit the cache or coalesced onto the build.
+  const TreeCache::Stats cache = server.tree_cache().stats();
+  EXPECT_EQ(cache.misses, 1);
+  EXPECT_EQ(cache.hits + cache.coalesced, kClients - 1);
+  server.Shutdown();
+}
+
+TEST(ServerTest, GracefulShutdownDrainsInFlightQuery) {
+  FailpointScope failpoints(3);
+  // Make the query slow enough that shutdown starts while it is running.
+  FailpointSpec slow;
+  slow.action = FailpointAction::kLatency;
+  slow.probability = 1.0;
+  slow.latency_ms = 300;
+  ASSERT_TRUE(ConfigureFailpoint("rev_reach.build", slow).ok());
+
+  Server server(TestGraph(), std::nullopt, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  std::thread shutdown_thread([&server] {
+    std::this_thread::sleep_for(milliseconds(100));
+    server.Shutdown();
+  });
+  // Sent before shutdown begins, answered in full after it: the drain
+  // guarantee.
+  StatusOr<JsonValue> response = client.Call(TopKRequest(1007, 5));
+  shutdown_thread.join();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->GetString("status", ""), "OK");
+  ASSERT_NE(response->Find("scores"), nullptr);
+  EXPECT_EQ(response->Find("scores")->items().size(), 5u);
+}
+
+TEST(ServerTest, MetricsEndpointServesPrometheusText) {
+  Server server(TestGraph(), std::nullopt, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.metrics_port(), 0);
+
+  // Prime at least one serve.* metric.
+  {
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    JsonValue ping = JsonValue::Object();
+    ping.Set("op", JsonValue(std::string("ping")));
+    ASSERT_TRUE(client.Call(ping).ok());
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.metrics_port()));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string get = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(send(fd, get.data(), get.size(), 0),
+            static_cast<ssize_t>(get.size()));
+  std::string body;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    body.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+
+  EXPECT_NE(body.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body.find("crashsim_serve_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE"), std::string::npos);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -16,9 +16,13 @@
 // 8 UNAVAILABLE — so sweep scripts can tell a timeout from a bad input
 // without scraping stderr.
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -27,6 +31,11 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "core/baseline_temporal.h"
 #include "core/crashsim.h"
@@ -39,6 +48,8 @@
 #include "eval/experiment.h"
 #include "graph/analysis.h"
 #include "graph/graph_io.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
 #include "simrank/monte_carlo.h"
 #include "simrank/power_method.h"
 #include "simrank/probesim.h"
@@ -47,6 +58,8 @@
 #include "simrank/topk.h"
 #include "util/failpoint.h"
 #include "util/metrics.h"
+#include "util/rng.h"
+#include "util/stats.h"
 #include "util/status.h"
 #include "util/timer.h"
 #include "util/top_k.h"
@@ -790,11 +803,7 @@ int RunStress(int argc, char** argv) {
 
   std::sort(latencies_ms.begin(), latencies_ms.end());
   const auto percentile = [&](double p) {
-    if (latencies_ms.empty()) return 0.0;
-    const size_t idx = std::min(
-        latencies_ms.size() - 1,
-        static_cast<size_t>(p * static_cast<double>(latencies_ms.size())));
-    return latencies_ms[idx];
+    return PercentileNearestRank(latencies_ms, p);
   };
 
   std::printf("stress: %d clients x %lld queries (%s) on %lld nodes\n",
@@ -837,6 +846,278 @@ int RunStress(int argc, char** argv) {
   return 0;
 }
 
+// --- replay: load generator / client for crashsim_serve ---------------------
+
+// Maps the wire status name (StatusCodeName on the server side) back to a
+// StatusCode so replay exits with the same code taxonomy as the other
+// subcommands.
+StatusCode CodeFromWireName(const std::string& name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+        StatusCode::kResourceExhausted, StatusCode::kDataLoss,
+        StatusCode::kUnavailable}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kDataLoss;  // unparseable response
+}
+
+// One framed-JSON connection to a crashsim_serve instance.
+class ServeClient {
+ public:
+  ~ServeClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+  ServeClient() = default;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  [[nodiscard]] Status Connect(const std::string& host, int port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return UnavailableError(StrFormat("socket: %s", std::strerror(errno)));
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return InvalidArgumentError("invalid server address " + host);
+    }
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return UnavailableError(StrFormat("connect %s:%d: %s", host.c_str(),
+                                        port, std::strerror(errno)));
+    }
+    return OkStatus();
+  }
+
+  [[nodiscard]] StatusOr<JsonValue> Call(const JsonValue& request) {
+    RETURN_IF_ERROR(WriteFrame(fd_, request.Write()));
+    ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_));
+    return ParseJson(payload);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+StatusOr<std::vector<int64_t>> ParseSourceList(const std::string& spec) {
+  std::vector<int64_t> sources;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(start, comma - start);
+    if (!token.empty()) {
+      char* end = nullptr;
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return InvalidArgumentError("bad source id '" + token +
+                                    "' in --sources");
+      }
+      sources.push_back(value);
+    }
+    start = comma + 1;
+  }
+  if (sources.empty()) {
+    return InvalidArgumentError("--sources must list at least one id");
+  }
+  return sources;
+}
+
+// Renders a topk response in the exact format `crashsim_cli topk` prints, so
+// the serve smoke lane can diff the two byte for byte.
+int PrintOnceResponse(const JsonValue& response) {
+  const StatusCode code = CodeFromWireName(response.GetString("status", ""));
+  if (code != StatusCode::kOk) {
+    return FailStatus(Status(code, response.GetString("message", "")));
+  }
+  const JsonValue* nodes = response.Find("nodes");
+  const JsonValue* scores = response.Find("scores");
+  if (nodes == nullptr || scores == nullptr ||
+      nodes->items().size() != scores->items().size()) {
+    return FailStatus(DataLossError("malformed topk response"));
+  }
+  std::printf("top-%lld nodes by s(%lld, v):\n",
+              static_cast<long long>(response.GetInt("k", 0)),
+              static_cast<long long>(response.GetInt("source", 0)));
+  for (size_t i = 0; i < nodes->items().size(); ++i) {
+    std::printf("  %lld  %.5f\n",
+                static_cast<long long>(nodes->items()[i].as_int()),
+                scores->items()[i].as_number());
+  }
+  // epsilon_achieved serialises as null when infinite (zero trials done).
+  const JsonValue* eps = response.Find("epsilon_achieved");
+  const double epsilon = (eps != nullptr && eps->is_number())
+                             ? eps->as_number()
+                             : std::numeric_limits<double>::infinity();
+  std::printf("(anytime: %lld/%lld trials, epsilon_achieved=%.17g)\n",
+              static_cast<long long>(response.GetInt("trials_done", 0)),
+              static_cast<long long>(response.GetInt("trials_target", 0)),
+              epsilon);
+  return 0;
+}
+
+int RunReplay(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("host", "127.0.0.1", "crashsim_serve address");
+  flags.DefineIntInRange("port", 0, 0, 65535, "crashsim_serve query port");
+  flags.DefineIntInRange("clients", 8, 1, 1024,
+                         "concurrent replay connections");
+  flags.DefineIntInRange("requests", 32, 1, 1000000,
+                         "requests sent per client");
+  flags.DefineString("mode", "closed",
+                     "closed (back-to-back) | open (fixed arrival rate; "
+                     "latency measured from the intended send time, so "
+                     "coordinated omission shows up as it should)");
+  flags.DefineDouble("rate", 50.0, "open mode: arrivals per second per client");
+  flags.DefineString("sources", "",
+                     "comma-separated original source ids; the FIRST is the "
+                     "hot key chosen with --hot_fraction");
+  flags.DefineDouble("hot_fraction", 0.8,
+                     "probability a request targets the hot (first) source");
+  flags.DefineIntInRange("k", 10, 1, 1000000, "top-k per request");
+  flags.DefineIntInRange("timeout_ms", 0, 0, 86400000,
+                         "per-request deadline forwarded to the server");
+  flags.DefineInt("seed", 1, "workload RNG seed");
+  flags.DefineBool("once", false,
+                   "send a single topk request and print it in the "
+                   "`crashsim_cli topk` output format (for diffing)");
+  flags.DefineBool("tolerate_eof", false,
+                   "treat transport errors (server draining mid-run) as "
+                   "shed responses instead of failures");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (flags.GetInt("port") == 0) return Fail("--port is required");
+  const auto sources_or = ParseSourceList(flags.GetString("sources"));
+  if (!sources_or.ok()) return FailStatus(sources_or.status());
+  const std::vector<int64_t>& sources = *sources_or;
+  const std::string host = flags.GetString("host");
+  const int port = static_cast<int>(flags.GetInt("port"));
+  const int64_t k = flags.GetInt("k");
+  const int64_t timeout_ms = flags.GetInt("timeout_ms");
+
+  const auto make_request = [&](int64_t source) {
+    JsonValue request = JsonValue::Object();
+    request.Set("op", JsonValue(std::string("topk")));
+    request.Set("source", JsonValue(source));
+    request.Set("k", JsonValue(k));
+    if (timeout_ms > 0) request.Set("timeout_ms", JsonValue(timeout_ms));
+    return request;
+  };
+
+  if (flags.GetBool("once")) {
+    ServeClient client;
+    if (Status s = client.Connect(host, port); !s.ok()) return FailStatus(s);
+    const auto response = client.Call(make_request(sources[0]));
+    if (!response.ok()) return FailStatus(response.status());
+    return PrintOnceResponse(*response);
+  }
+
+  const std::string mode = flags.GetString("mode");
+  if (mode != "closed" && mode != "open") {
+    return Fail("--mode must be closed or open");
+  }
+  const bool open_loop = mode == "open";
+  const double rate = flags.GetDouble("rate");
+  if (open_loop && rate <= 0.0) return Fail("open mode needs --rate > 0");
+  const int clients = static_cast<int>(flags.GetInt("clients"));
+  const int64_t requests = flags.GetInt("requests");
+  const double hot_fraction = flags.GetDouble("hot_fraction");
+  const uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const bool tolerate_eof = flags.GetBool("tolerate_eof");
+
+  std::mutex tally_mu;
+  std::map<std::string, int64_t> by_status;  // under tally_mu
+  std::vector<double> latencies_ms;          // under tally_mu
+  Status connect_error;                      // under tally_mu
+
+  const Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      ServeClient client;
+      if (Status s = client.Connect(host, port); !s.ok()) {
+        const std::lock_guard<std::mutex> lock(tally_mu);
+        if (connect_error.ok()) connect_error = s;
+        return;
+      }
+      Rng rng(base_seed + static_cast<uint64_t>(c) * 7919);
+      std::map<std::string, int64_t> local_status;
+      std::vector<double> local_ms;
+      local_ms.reserve(static_cast<size_t>(requests));
+      const auto start = std::chrono::steady_clock::now();
+      for (int64_t q = 0; q < requests; ++q) {
+        int64_t source = sources[0];
+        if (sources.size() > 1 && rng.NextDouble() >= hot_fraction) {
+          source = sources[1 + rng.NextU64() % (sources.size() - 1)];
+        }
+        auto intended = start;
+        if (open_loop) {
+          intended = start + std::chrono::microseconds(static_cast<int64_t>(
+                                 static_cast<double>(q) * 1e6 / rate));
+          std::this_thread::sleep_until(intended);
+        }
+        const Stopwatch timer;
+        const auto response = client.Call(make_request(source));
+        double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+        if (open_loop) {
+          // Open loop charges queueing delay behind the intended schedule.
+          elapsed_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - intended)
+                           .count();
+        }
+        if (!response.ok()) {
+          ++local_status[tolerate_eof ? "TRANSPORT_TOLERATED"
+                                      : std::string(StatusCodeName(
+                                            response.status().code()))];
+          break;  // the connection is gone either way
+        }
+        local_ms.push_back(elapsed_ms);
+        ++local_status[response->GetString("status", "?")];
+      }
+      const std::lock_guard<std::mutex> lock(tally_mu);
+      for (const auto& [name, count] : local_status) by_status[name] += count;
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+  if (!connect_error.ok()) return FailStatus(connect_error);
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto percentile = [&](double p) {
+    return PercentileNearestRank(latencies_ms, p);
+  };
+  std::printf("replay: %d clients x %lld requests (%s) -> %s:%d\n", clients,
+              static_cast<long long>(requests), mode.c_str(), host.c_str(),
+              port);
+  std::printf("outcomes:");
+  for (const auto& [name, count] : by_status) {
+    std::printf("  %s %lld", name.c_str(), static_cast<long long>(count));
+  }
+  std::printf("\n");
+  std::printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+              percentile(0.50), percentile(0.95), percentile(0.99),
+              latencies_ms.empty() ? 0.0 : latencies_ms.back());
+  std::printf("throughput: %.1f req/s over %.2f s\n",
+              wall_seconds > 0.0
+                  ? static_cast<double>(latencies_ms.size()) / wall_seconds
+                  : 0.0,
+              wall_seconds);
+  // Non-OK terminal outcomes fail the run unless explicitly tolerated.
+  for (const auto& [name, count] : by_status) {
+    if (name != "OK" && name != "TRANSPORT_TOLERATED" && count > 0) {
+      return ExitCodeFor(Status(CodeFromWireName(name),
+                                StrFormat("%lld %s responses",
+                                          static_cast<long long>(count),
+                                          name.c_str())));
+    }
+  }
+  return 0;
+}
+
 int RunGenerate(int argc, char** argv) {
   FlagSet flags;
   flags.DefineString("dataset", "as733",
@@ -865,7 +1146,8 @@ int RunGenerate(int argc, char** argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: crashsim_cli "
-               "<stats|topk|temporal|durable|stress|generate> [flags]\n"
+               "<stats|topk|temporal|durable|stress|replay|generate> "
+               "[flags]\n"
                "run a subcommand with --help for its flags\n");
   return 1;
 }
@@ -882,6 +1164,7 @@ int main(int argc, char** argv) {
   if (command == "temporal") return crashsim::RunTemporal(argc - 1, argv + 1);
   if (command == "durable") return crashsim::RunDurable(argc - 1, argv + 1);
   if (command == "stress") return crashsim::RunStress(argc - 1, argv + 1);
+  if (command == "replay") return crashsim::RunReplay(argc - 1, argv + 1);
   if (command == "generate") return crashsim::RunGenerate(argc - 1, argv + 1);
   return crashsim::Usage();
 }

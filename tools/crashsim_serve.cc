@@ -1,0 +1,176 @@
+// crashsim_serve — the always-on query service (docs/SERVING.md).
+//
+//   crashsim_serve --graph FILE [--temporal FILE] [--port P] ...
+//
+// Binds the graph once, then answers concurrent top-k and temporal queries
+// over the length-prefixed JSON protocol until SIGINT/SIGTERM, when it
+// drains in-flight queries and exits 0. A second listener serves
+// GET /metrics in Prometheus text format.
+//
+// Exit codes follow the crashsim_cli taxonomy (docs/ERRORS.md): 0 clean
+// shutdown, 1 usage error, 2 INVALID_ARGUMENT, 8 UNAVAILABLE (bind failed).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "graph/graph_io.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace crashsim {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kDeadlineExceeded: return 4;
+    case StatusCode::kCancelled: return 5;
+    case StatusCode::kResourceExhausted: return 6;
+    case StatusCode::kDataLoss: return 7;
+    case StatusCode::kUnavailable: return 8;
+  }
+  return 1;
+}
+
+int FailStatus(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("graph", "", "static edge-list file (required)");
+  flags.DefineString("temporal", "",
+                     "temporal edge-list file; omit to serve topk only");
+  flags.DefineBool("undirected", false, "treat edges as undirected");
+  flags.DefineString("host", "127.0.0.1", "listen address");
+  flags.DefineIntInRange("port", 0, 0, 65535,
+                         "query port (0 = ephemeral, reported on stdout)");
+  flags.DefineIntInRange("metrics_port", 0, -1, 65535,
+                         "/metrics HTTP port (0 = ephemeral, -1 = disabled)");
+  flags.DefineString("port_file", "",
+                     "write '<port> <metrics_port>' here once listening "
+                     "(lets scripts find ephemeral ports)");
+  flags.DefineIntInRange("max_connections", 64, 1, 4096,
+                         "concurrent connection ceiling");
+  flags.DefineIntInRange("default_timeout_ms", 0, 0, 86400000,
+                         "deadline for requests without timeout_ms (0 = none)");
+  // Executor knobs (same semantics as `crashsim_cli stress`).
+  flags.DefineIntInRange("max_concurrent", 4, 1, 1024,
+                         "queries allowed to run concurrently");
+  flags.DefineIntInRange("max_queue", 16, 0, 1 << 20,
+                         "admission queue capacity");
+  flags.DefineDouble("degrade_at", 2.0,
+                     "load factor where trial-budget degradation starts "
+                     "(<= 0 disables; keep 0 for bit-exact serving)");
+  flags.DefineDouble("degrade_min_fraction", 0.25,
+                     "floor for the degraded trial fraction");
+  flags.DefineIntInRange("max_retries", 2, 0, 100,
+                         "retry budget for transient (UNAVAILABLE) failures");
+  flags.DefineIntInRange("memory_budget_mb", 0, 0, 1 << 20,
+                         "per-query memory budget in MiB (0 = unlimited)");
+  flags.DefineIntInRange("cache_mb", 256, 0, 1 << 20,
+                         "shared-tree cache capacity in MiB (0 = unbounded)");
+  // Engine knobs (same names as the CLI's topk/temporal subcommands).
+  flags.DefineDouble("c", 0.6, "SimRank decay factor");
+  flags.DefineDouble("epsilon", 0.025, "max absolute error");
+  flags.DefineDouble("delta", 0.01, "failure probability");
+  flags.DefineInt("trials", 0, "Monte-Carlo trials (0 = from epsilon/delta)");
+  flags.DefineInt("threads", 1, "CrashSim candidate-evaluation threads");
+  flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineBool("paper_mode", false,
+                   "use the paper-verbatim revReach recurrence");
+  if (!flags.Parse(argc, argv)) return 1;
+  if (flags.GetString("graph").empty()) {
+    std::fprintf(stderr, "error: --graph is required\n");
+    return 1;
+  }
+
+  auto loaded_or = LoadEdgeListFile(flags.GetString("graph"),
+                                    flags.GetBool("undirected"));
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
+  std::optional<LoadedTemporalGraph> temporal;
+  if (!flags.GetString("temporal").empty()) {
+    auto temporal_or = LoadTemporalEdgeListFile(flags.GetString("temporal"),
+                                                flags.GetBool("undirected"));
+    if (!temporal_or.ok()) return FailStatus(temporal_or.status());
+    temporal.emplace(std::move(*temporal_or));
+  }
+
+  ServerOptions options;
+  options.host = flags.GetString("host");
+  options.port = static_cast<int>(flags.GetInt("port"));
+  options.metrics_port = static_cast<int>(flags.GetInt("metrics_port"));
+  options.max_connections = static_cast<int>(flags.GetInt("max_connections"));
+  options.default_timeout_ms = flags.GetInt("default_timeout_ms");
+  options.executor.max_concurrent =
+      static_cast<int>(flags.GetInt("max_concurrent"));
+  options.executor.max_queue = static_cast<int>(flags.GetInt("max_queue"));
+  options.executor.degrade_at = flags.GetDouble("degrade_at");
+  options.executor.degrade_min_fraction =
+      flags.GetDouble("degrade_min_fraction");
+  options.executor.max_retries = static_cast<int>(flags.GetInt("max_retries"));
+  options.executor.memory_budget_bytes =
+      flags.GetInt("memory_budget_mb") * (1 << 20);
+  options.cache.capacity_bytes = flags.GetInt("cache_mb") * (1 << 20);
+  options.engine.mc.c = flags.GetDouble("c");
+  options.engine.mc.epsilon = flags.GetDouble("epsilon");
+  options.engine.mc.delta = flags.GetDouble("delta");
+  options.engine.mc.trials_override = flags.GetInt("trials");
+  options.engine.mc.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.engine.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
+                                                    : RevReachMode::kCorrected;
+  options.engine.num_threads = static_cast<int>(flags.GetInt("threads"));
+  if (Status s = options.Validate(); !s.ok()) return FailStatus(s);
+
+  Server server(std::move(*loaded_or), std::move(temporal), options);
+  if (Status s = server.Start(); !s.ok()) return FailStatus(s);
+
+  std::printf("listening port=%d metrics_port=%d\n", server.port(),
+              server.metrics_port());
+  std::fflush(stdout);
+  if (!flags.GetString("port_file").empty()) {
+    std::ofstream out(flags.GetString("port_file"));
+    if (out) out << server.port() << " " << server.metrics_port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   flags.GetString("port_file").c_str());
+    }
+  }
+
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  const Server::Stats stats = server.stats();
+  std::printf("served %lld requests (%lld errors) on %lld connections; "
+              "clean shutdown\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.errors),
+              static_cast<long long>(stats.connections_accepted));
+  return 0;
+}
+
+}  // namespace
+}  // namespace crashsim
+
+int main(int argc, char** argv) { return crashsim::Run(argc, argv); }

@@ -76,10 +76,15 @@ THREAD_PRIMITIVE_RE = re.compile(
 # failpoint.* (registry mutex — a test facility whose armed path favours one
 # audited lock) and executor.* (admission gate: the mutex + condvar *are* the
 # subsystem; ParallelFor is a data-parallel loop, not an admission queue) are
-# deliberate additions, each with its own TSan coverage.
+# deliberate additions, each with its own TSan coverage. tree_cache.* (the
+# single-flight build deduplication *is* a mutex + condvar protocol) and
+# src/serve/ (a TCP server: accept/connection threads and shutdown
+# coordination cannot be expressed as a data-parallel loop) joined with PR 7,
+# both TSan-covered.
 THREAD_EXEMPT = ("src/util/parallel.", "src/util/metrics.",
                  "src/util/trace.", "src/util/failpoint.",
-                 "src/core/executor.")
+                 "src/core/executor.", "src/core/tree_cache.",
+                 "src/serve/")
 
 # rand() takes no arguments and C time() is called as time(NULL / nullptr /
 # 0 / &var), so matching those call shapes keeps members *named* time(...)
