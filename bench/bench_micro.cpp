@@ -15,6 +15,7 @@
 // pollutes the timings) and writes its Chrome trace-event timeline.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -174,6 +175,89 @@ void BM_CrashSimTrialBatch(benchmark::State& state) {
   state.counters["tree_bytes"] = static_cast<double>(tree.MemoryBytes());
 }
 BENCHMARK(BM_CrashSimTrialBatch)->Arg(1000)->Arg(10000);
+
+// The walk-engine trio behind run_benchmarks.sh's batch-speedup gate, all
+// on the same TreeProbabilityHit-heavy query workload: 512 candidates, 50
+// trials, one prebuilt tree on the 10k fixture (~100k walks, ~350k probes
+// per iteration — the mix the QueryStatsProbe blob records for real
+// queries).
+//
+//   BM_WalkBatchScalar  the pre-SoA query loop, reconstructed verbatim: one
+//                       walk at a time via SampleSqrtCWalk (per-step
+//                       Bernoulli stop on a generic Rng, walk materialised
+//                       into a vector) with an immediate tree.Probability
+//                       per position — what shipped before the batch
+//                       engine, kept as the gate's denominator workload.
+//   BM_WalkBatchSoA     the production path: WalkBatchEngine at the full
+//                       256-lane width (alias-sampled lengths, SoA lanes,
+//                       prefetched CSR rows and tree levels, batched
+//                       probes).
+//   BM_WalkBatchLanes   lane-width sweep (including 1 = the engine's scalar
+//                       twin used by the differential suite) for tuning the
+//                       batch_size default; not gated.
+void BM_WalkBatchScalar(benchmark::State& state) {
+  const Graph& g = FixtureGraph(state.range(0));
+  CrashSimOptions opt;
+  CrashSim algo(opt);
+  algo.Bind(&g);
+  const auto tree = algo.BuildTree(1);
+  const int l_max = algo.LMax();
+  const double sqrt_c = std::sqrt(opt.mc.c);
+  Rng rng(opt.mc.seed);
+  std::vector<NodeId> walk;
+  std::vector<double> scores(512);
+  for (auto _ : state) {
+    std::fill(scores.begin(), scores.end(), 0.0);
+    for (int64_t trial = 0; trial < 50; ++trial) {
+      for (NodeId v = 0; v < 512; ++v) {
+        const int len =
+            SampleSqrtCWalk(g, v, sqrt_c, l_max + 1, &rng, &walk);
+        double score = 0.0;
+        for (int pos = 1; pos < len; ++pos) {
+          score += tree.Probability(pos, walk[static_cast<size_t>(pos)]);
+        }
+        scores[static_cast<size_t>(v)] += score;
+      }
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 512);  // walks sampled
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_WalkBatchScalar)->Arg(10000);
+
+void RunWalkBatchWorkload(benchmark::State& state, int batch_size) {
+  const Graph& g = FixtureGraph(state.range(0));
+  CrashSimOptions opt;
+  opt.mc.trials_override = 50;
+  opt.batch_size = batch_size;
+  CrashSim algo(opt);
+  algo.Bind(&g);
+  const auto tree = algo.BuildTree(1);
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < 512; ++v) candidates.push_back(v);
+  for (auto _ : state) {
+    auto scores = algo.PartialWithTree(tree, candidates);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 512);  // walks sampled
+  SetGraphCounters(state, g);
+  state.counters["batch"] = static_cast<double>(batch_size);
+}
+
+void BM_WalkBatchSoA(benchmark::State& state) {
+  RunWalkBatchWorkload(state, /*batch_size=*/256);
+}
+BENCHMARK(BM_WalkBatchSoA)->Arg(10000);
+
+void BM_WalkBatchLanes(benchmark::State& state) {
+  RunWalkBatchWorkload(state, static_cast<int>(state.range(1)));
+}
+BENCHMARK(BM_WalkBatchLanes)
+    ->Args({10000, 1})
+    ->Args({10000, 16})
+    ->Args({10000, 64})
+    ->Args({10000, 1024});
 
 void BM_ProbeSimTrialBatch(benchmark::State& state) {
   // 100 full ProbeSim trials (walk + probes): the per-trial cost CrashSim's

@@ -33,6 +33,10 @@ Status CrashSimOptions::Validate() const {
     return InvalidArgumentError(
         StrFormat("num_threads must be >= 1, got %d", num_threads));
   }
+  if (batch_size < 1 || batch_size > kMaxWalkBatch) {
+    return InvalidArgumentError(StrFormat(
+        "batch_size must be in [1, %d], got %d", kMaxWalkBatch, batch_size));
+  }
   return OkStatus();
 }
 
@@ -83,73 +87,15 @@ std::vector<double> CrashSim::Partial(NodeId u,
 
 std::vector<double> CrashSim::PartialWithTree(
     const ReverseReachableTree& tree, std::span<const NodeId> candidates) {
-  const Graph& g = *graph();
-  const NodeId u = tree.source();
-  CRASHSIM_CHECK(u >= 0 && u < g.num_nodes());
-  const int l_max = tree.max_level();
-  const int64_t n_r = TrialsFor(g.num_nodes());
-  const bool corrected = options_.mode == RevReachMode::kCorrected;
-  CRASHSIM_CHECK(!corrected || !diag_.empty())
-      << "corrected mode requires Bind() to estimate d(w)";
-
-  std::vector<double> scores(candidates.size(), 0.0);
-  // Accumulates all n_r trials for one candidate with a caller-chosen RNG.
-  auto run_candidate = [&](NodeId v, Rng* rng, std::vector<NodeId>* walk) {
-    double total = 0.0;
-    for (int64_t k = 0; k < n_r; ++k) {
-      // Algorithm 1 line 8, with the depth off-by-one fixed: the tree holds
-      // levels 0..l_max, and walk position i scores against level i, so the
-      // walk must reach step l_max (l_max + 1 nodes) for the deepest level
-      // to ever contribute. The truncation error is then (sqrt c)^{l_max+1}
-      // <= eps_t, still within Theorem 1's budget.
-      SampleSqrtCWalk(g, v, sqrt_c_, l_max + 1, rng, walk);
-      // Lines 10-11: crash the walk into the source tree.
-      for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
-        const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
-        const double hit = tree.Probability(i - 1, w);
-        if (hit == 0.0) continue;
-        total += corrected ? hit * diag_[static_cast<size_t>(w)] : hit;
-      }
-    }
-    return total;
-  };
-
-  if (options_.num_threads > 1) {
-    // Parallel mode: each candidate gets its own stream derived from (seed,
-    // source, candidate), so results do not depend on scheduling.
-    ParallelFor(
-        static_cast<int64_t>(candidates.size()),
-        [&](int64_t begin, int64_t end) {
-          std::vector<NodeId> walk;
-          for (int64_t ci = begin; ci < end; ++ci) {
-            const NodeId v = candidates[static_cast<size_t>(ci)];
-            if (v == u) continue;
-            SplitMix64 mix(options_.mc.seed ^
-                           (static_cast<uint64_t>(u) << 32) ^
-                           static_cast<uint64_t>(static_cast<uint32_t>(v)));
-            Rng rng(mix.Next());
-            scores[static_cast<size_t>(ci)] = run_candidate(v, &rng, &walk);
-          }
-        },
-        /*min_chunk=*/8, options_.num_threads);
-  } else {
-    std::vector<NodeId> walk;
-    // Note the trial/candidate loop order is inverted relative to Algorithm
-    // 1 (candidate-major instead of trial-major). The estimator is a plain
-    // sum over (trial, candidate), so the result distribution is identical,
-    // and candidate-major keeps the source-tree rows of each candidate's
-    // neighbourhood hot in cache.
-    for (size_t ci = 0; ci < candidates.size(); ++ci) {
-      const NodeId v = candidates[ci];
-      if (v == u) continue;
-      scores[ci] = run_candidate(v, &rng_, &walk);
-    }
-  }
-  const double inv = 1.0 / static_cast<double>(n_r);
-  for (size_t ci = 0; ci < candidates.size(); ++ci) {
-    scores[ci] = (candidates[ci] == u) ? 1.0 : scores[ci] * inv;
-  }
-  return scores;
+  // One body for both API generations: the context-aware path with no
+  // context runs every trial and cannot be truncated, so the only
+  // difference is the return shape. (Historically this overload kept its
+  // own sequential RNG stream; since the per-(candidate, trial) substream
+  // contract of util/rng.h landed, every path draws identical streams and
+  // the fork was deleted.)
+  PartialResult result = PartialWithTree(tree, candidates, nullptr);
+  CRASHSIM_CHECK(result.status.ok()) << result.status;
+  return std::move(result.scores);
 }
 
 PartialResult CrashSim::SingleSource(NodeId u, QueryContext* ctx) {
@@ -229,74 +175,48 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
   result.trials_target = n_r;
   result.scores.assign(candidates.size(), 0.0);
 
-  // Every candidate draws from its own stream — the same (seed, source,
-  // candidate) derivation as the legacy parallel mode — so scores depend
-  // only on (seed, trials run), not on thread count or on where a deadline
-  // cut the loop.
-  std::vector<Rng> rngs;
-  rngs.reserve(candidates.size());
-  for (NodeId v : candidates) {
-    SplitMix64 mix(options_.mc.seed ^ (static_cast<uint64_t>(u) << 32) ^
-                   static_cast<uint64_t>(static_cast<uint32_t>(v)));
-    rngs.emplace_back(mix.Next());
-  }
+  // The Monte-Carlo inner loop lives in WalkBatchEngine: SoA walk batches
+  // with prefetched CSR rows and batched tree probes (or its bit-identical
+  // scalar twin at batch_size 1 / tiny jobs). Every walk draws from the
+  // substream PerWalkSeed(ChainSeed(seed, source), candidate, trial) —
+  // util/rng.h documents the derivation — so scores depend only on (seed,
+  // trials run), never on thread count, batch size, or where a deadline
+  // cut the loop. Walks take l_max + 1 nodes = l_max steps: the tree holds
+  // levels 0..l_max and walk position i scores against level i (Algorithm 1
+  // lines 8-11 with the depth off-by-one fixed), so the deepest level can
+  // contribute; the truncation error (sqrt c)^{l_max+1} <= eps_t stays
+  // within Theorem 1's budget.
+  const ReverseReachableTree* const tree_ptr = &tree;
+  const WalkBatchEngine engine(
+      g, std::span<const ReverseReachableTree* const>(&tree_ptr, 1),
+      corrected ? std::span<const double>(diag_) : std::span<const double>(),
+      sqrt_c_, l_max + 1, ChainSeed(options_.mc.seed, static_cast<uint64_t>(u)),
+      options_.batch_size);
 
-  // Observability: walk-step and crash-hit counts are gathered per
-  // candidate (disjoint slots, safe under candidate-level parallelism) and
-  // folded into the sink in index order after the loop, so the recorded
-  // counts depend only on (seed, trials run) — never on thread count.
+  // Observability: walk-step and crash-hit counts accumulate in per-
+  // candidate slots (disjoint under candidate-level parallelism) and fold
+  // into the sink in index order at the end, so the recorded counts depend
+  // only on (seed, trials run) — never on thread count.
   QueryStats* const qs = ctx != nullptr ? ctx->stats() : nullptr;
-  std::vector<int64_t> walk_steps;
-  std::vector<int64_t> crash_hits;
-  if (qs != nullptr) {
-    walk_steps.assign(candidates.size(), 0);
-    crash_hits.assign(candidates.size(), 0);
-  }
-
-  // Runs `count` trials of candidate ci, accumulating raw crash mass into
-  // result.scores (normalised once the total trial count is known).
-  auto run_trials = [&](size_t ci, int64_t count, std::vector<NodeId>* walk) {
-    const NodeId v = candidates[ci];
-    Rng& rng = rngs[ci];
-    double total = 0.0;
-    int64_t steps = 0;
-    int64_t hits = 0;
-    for (int64_t k = 0; k < count; ++k) {
-      // l_max + 1 nodes = l_max steps, so level l_max of the tree is
-      // reachable (see the depth note in the legacy path above).
-      SampleSqrtCWalk(g, v, sqrt_c_, l_max + 1, &rng, walk);
-      steps += static_cast<int64_t>(walk->size()) - 1;
-      for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
-        const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
-        const double hit = tree.Probability(i - 1, w);
-        if (hit == 0.0) continue;
-        ++hits;
-        total += corrected ? hit * diag_[static_cast<size_t>(w)] : hit;
-      }
-    }
-    result.scores[ci] += total;
-    if (qs != nullptr) {
-      walk_steps[ci] += steps;
-      crash_hits[ci] += hits;
-    }
-  };
+  std::vector<WalkBatchStats> stat_slots(qs != nullptr ? candidates.size()
+                                                       : 0);
 
   // Trial blocks grow 1, 2, 4, ..., 64: the first checkpoint lands after a
   // single trial sweep (so even an already-expired deadline yields a
   // non-empty partial answer), later checkpoints amortise the clock read.
   // The context is only consulted *between* blocks, keeping every candidate
   // at the same trial count — the invariant the anytime bound needs.
+  //
+  // Each block accumulates into its own scratch and folds into the result
+  // only after the whole block succeeded, so a shard killed mid-block (an
+  // injected fault, an allocation failure) simply discards the scratch:
+  // the partial answer is always the exact result of `done` full trials,
+  // with no rollback bookkeeping.
   int64_t done = 0;
   int64_t block = 1;
   constexpr int64_t kMaxBlock = 64;
-  // Block-granular rollback state for injected faults: a shard that dies
-  // mid-block leaves partial crash mass in result.scores, so when
-  // failpoints are armed each block snapshots the accumulators first and a
-  // failing block restores them — the partial answer stays the exact result
-  // of `done` full trials. Allocated only while failpoints are enabled.
-  std::vector<double> scores_backup;
-  std::vector<int64_t> walk_steps_backup;
-  std::vector<int64_t> crash_hits_backup;
+  std::vector<double> block_mass(candidates.size());
+  std::vector<WalkBatchStats> block_stats(candidates.size());
   while (done < n_r) {
     if (ctx != nullptr && done > 0) {
       if (Status s = ctx->Check(); !s.ok()) {
@@ -310,47 +230,44 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
     }
     const int64_t batch = std::min(block, n_r - done);
     TRACE_SPAN("crashsim.trial_block");
+    std::fill(block_mass.begin(), block_mass.end(), 0.0);
+    std::fill(block_stats.begin(), block_stats.end(), WalkBatchStats{});
+    // Trial indices are absolute ([done, done + batch)), so each block's
+    // walks are the same whether the query runs to completion, is cut
+    // short, or replays with trials_override = trials_done.
+    auto run_range = [&](int64_t begin, int64_t end) {
+      engine.Run(
+          candidates.subspan(static_cast<size_t>(begin),
+                             static_cast<size_t>(end - begin)),
+          u, done, done + batch,
+          std::span<double>(block_mass).subspan(static_cast<size_t>(begin)),
+          candidates.size(),
+          std::span<WalkBatchStats>(block_stats)
+              .subspan(static_cast<size_t>(begin),
+                       static_cast<size_t>(end - begin)));
+    };
     if (options_.num_threads > 1) {
-      const bool rollback_armed = FailpointsEnabled();
-      if (rollback_armed) {
-        scores_backup = result.scores;
-        walk_steps_backup = walk_steps;
-        crash_hits_backup = crash_hits;
-      }
       try {
-        ParallelFor(
-            static_cast<int64_t>(candidates.size()),
-            [&](int64_t begin, int64_t end) {
-              std::vector<NodeId> walk;
-              for (int64_t ci = begin; ci < end; ++ci) {
-                if (candidates[static_cast<size_t>(ci)] == u) continue;
-                run_trials(static_cast<size_t>(ci), batch, &walk);
-              }
-            },
-            /*min_chunk=*/8, options_.num_threads);
+        ParallelFor(static_cast<int64_t>(candidates.size()), run_range,
+                    /*min_chunk=*/8, options_.num_threads);
       } catch (const StatusException& e) {
-        if (rollback_armed) {
-          result.scores = scores_backup;
-          walk_steps = walk_steps_backup;
-          crash_hits = crash_hits_backup;
-        }
         result.status = e.status();
         break;
       } catch (const std::bad_alloc&) {
-        if (rollback_armed) {
-          result.scores = scores_backup;
-          walk_steps = walk_steps_backup;
-          crash_hits = crash_hits_backup;
-        }
         result.status =
             ResourceExhaustedError("out of memory during CrashSim trial block");
         break;
       }
     } else {
-      std::vector<NodeId> walk;
+      run_range(0, static_cast<int64_t>(candidates.size()));
+    }
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      result.scores[ci] += block_mass[ci];
+    }
+    if (qs != nullptr) {
       for (size_t ci = 0; ci < candidates.size(); ++ci) {
-        if (candidates[ci] == u) continue;
-        run_trials(ci, batch, &walk);
+        stat_slots[ci].walk_steps += block_stats[ci].walk_steps;
+        stat_slots[ci].tree_hits += block_stats[ci].tree_hits;
       }
     }
     done += batch;
@@ -379,8 +296,8 @@ PartialResult CrashSim::PartialWithTree(const ReverseReachableTree& tree,
     // The trial-block loop keeps every candidate at the same trial count.
     qs->walks_sampled += done * evaluated;
     for (size_t ci = 0; ci < candidates.size(); ++ci) {
-      qs->walk_steps += walk_steps[ci];
-      qs->tree_hits += crash_hits[ci];
+      qs->walk_steps += stat_slots[ci].walk_steps;
+      qs->tree_hits += stat_slots[ci].tree_hits;
     }
     // Tree shape, for callers that prebuilt the tree outside a context-aware
     // BuildRevReach (tree_builds stays untouched — no build happened here).

@@ -6,6 +6,7 @@
 
 #include "core/query_context.h"
 #include "core/rev_reach.h"
+#include "core/walk_batch.h"
 #include "simrank/simrank.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -28,11 +29,17 @@ struct CrashSimOptions {
   // corrections d(w).
   int diag_samples = 100;
   // > 1 evaluates candidates in parallel on the shared thread pool, using at
-  // most this many threads (the pool never spawns per query). Parallel
-  // results are deterministic in (seed, source, candidate) — independent of
-  // the actual thread count — but differ from the sequential stream, so keep
-  // the default for bit-exact comparisons against single-threaded runs.
+  // most this many threads (the pool never spawns per query). Results are
+  // deterministic in (seed, source, candidate, trial) and independent of the
+  // actual thread count.
   int num_threads = 1;
+  // Lanes of the SoA batch walk engine (core/walk_batch.h): how many
+  // candidate walks each thread advances in lockstep. 1 runs the scalar
+  // reference loop. Any value in [1, kMaxWalkBatch] produces bit-identical
+  // scores — the per-walk RNG streams depend only on (seed, source,
+  // candidate, trial) — so this knob trades nothing but speed; the
+  // differential suite tests/core/walk_batch_test.cc enforces the identity.
+  int batch_size = 64;
 
   // Domain check (delegates to mc.Validate() and covers the CrashSim-only
   // knobs). Invoked at Bind and at every context-aware query entry.
@@ -71,10 +78,12 @@ class CrashSim : public SimRankAlgorithm {
   // the returned PartialResult carries the exact scores of the trials_done
   // trials that completed plus the achieved error bound — never a throw,
   // never a block. Scores are deterministic given (seed, trials_done): every
-  // candidate draws from its own RNG stream derived from (seed, source,
-  // candidate), so a run cut short at k trials equals a fresh run with
-  // trials_override = k bit for bit (and the result is independent of
-  // num_threads, unlike the legacy sequential stream above).
+  // walk draws from its own RNG stream derived from (seed, source,
+  // candidate, trial) — see util/rng.h — so a run cut short at k trials
+  // equals a fresh run with trials_override = k bit for bit, independent of
+  // num_threads and batch_size. The plain overloads above are thin wrappers
+  // over these (ctx = nullptr), so legacy and context-aware answers share
+  // one stream contract.
   PartialResult SingleSource(NodeId u, QueryContext* ctx);
   PartialResult Partial(NodeId u, std::span<const NodeId> candidates,
                         QueryContext* ctx);

@@ -227,11 +227,12 @@ TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
   return answer;
 }
 
-// Context-aware twin of the method above. It deliberately does NOT share the
-// body: the scoring inside uses the ctx-aware CrashSim path (per-candidate
-// RNG streams, anytime semantics), which draws different — though equally
-// valid — random numbers than the legacy sequential stream, and the legacy
-// method must stay bit-exact for the variant-equivalence tests. The pruning
+// Context-aware twin of the method above. Both score through the same
+// CrashSim body and per-(candidate, trial) walk streams — a fault-free run
+// with no deadline produces bit-identical scores here and above — but this
+// twin threads the context through every stage (tree builds, trial blocks,
+// snapshot advance) for anytime semantics and per-snapshot observability,
+// while the plain method keeps the lean error-free signature. The pruning
 // decisions themselves are the same deterministic logic.
 TemporalAnswer CrashSimT::Answer(const TemporalGraph& tg,
                                  const TemporalQuery& query,

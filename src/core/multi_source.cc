@@ -3,15 +3,27 @@
 #include <cmath>
 
 #include "core/query_stats.h"
-#include "simrank/walk.h"
+#include "core/walk_batch.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace crashsim {
+namespace {
+
+// Domain word separating the multi-source walk salt from the single-source
+// salts ChainSeed(seed, source): the walk sample is deliberately
+// source-independent (paired sampling — every source is scored against the
+// same walks), so the salt must not involve any source id, and it must not
+// collide with ChainSeed(seed, u) for any node u — node ids are int32 while
+// this word is not.
+constexpr uint64_t kMultiSourceStreamDomain = 0xa5a5a5a5a5a5a5a5ULL;
+
+}  // namespace
 
 CrashSimMultiSource::CrashSimMultiSource(const CrashSimOptions& options)
-    : crashsim_(options), rng_(options.mc.seed) {}
+    : crashsim_(options) {}
 
 void CrashSimMultiSource::Bind(const Graph* g) {
   graph_ = g;
@@ -50,9 +62,6 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
     }
   }
 
-  std::vector<std::vector<double>> result(
-      sources.size(), std::vector<double>(candidates.size(), 0.0));
-
   // Corrected mode weights each meeting node by d(w); d depends only on w,
   // so it folds into the shared walk pass the same for every source.
   const bool corrected =
@@ -61,67 +70,43 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
   CRASHSIM_CHECK(!corrected || !diag.empty())
       << "corrected mode requires Bind() to estimate d(w)";
 
-  // Per-candidate observability slots, folded in index order after the
-  // parallel region joins — the same disjoint-slot trick that keeps the
-  // scores deterministic keeps the counters deterministic too.
-  std::vector<int64_t> walk_steps;
-  std::vector<int64_t> tree_hits;
-  if (stats != nullptr) {
-    walk_steps.assign(candidates.size(), 0);
-    tree_hits.assign(candidates.size(), 0);
-  }
-
-  // Scores one candidate column: per-candidate stream (same derivation as
-  // CrashSim's parallel mode, so batching does not depend on the
-  // candidate-set composition) and disjoint result columns, which makes the
-  // loop safe and bit-identical under candidate-level parallelism.
-  auto run_candidate = [&](size_t ci, std::vector<NodeId>* walk) {
-    const NodeId v = candidates[ci];
-    SplitMix64 mix(crashsim_.options().mc.seed ^
-                   static_cast<uint64_t>(static_cast<uint32_t>(v)) ^
-                   0xa5a5a5a5a5a5a5a5ULL);
-    Rng rng(mix.Next());
-    int64_t steps = 0;
-    int64_t hits = 0;
-    for (int64_t k = 0; k < n_r; ++k) {
-      // l_max + 1 nodes = l_max steps, so level l_max of every source tree
-      // is reachable (same depth fix as CrashSim's trial loops).
-      SampleSqrtCWalk(g, v, sqrt_c, l_max + 1, &rng, walk);
-      steps += static_cast<int64_t>(walk->size()) - 1;
-      for (int i = 2; i <= static_cast<int>(walk->size()); ++i) {
-        const NodeId w = (*walk)[static_cast<size_t>(i - 1)];
-        const double weight =
-            corrected ? diag[static_cast<size_t>(w)] : 1.0;
-        // Score this walk position against every source tree at once.
-        for (size_t si = 0; si < trees.size(); ++si) {
-          const double hit = trees[si].Probability(i - 1, w);
-          if (hit != 0.0) {
-            result[si][ci] += hit * weight;
-            ++hits;
-          }
-        }
-      }
-    }
-    if (stats != nullptr) {
-      walk_steps[ci] = steps;
-      tree_hits[ci] = hits;
-    }
-  };
-
-  if (crashsim_.options().num_threads > 1) {
-    ParallelFor(
-        static_cast<int64_t>(candidates.size()),
-        [&](int64_t begin, int64_t end) {
-          std::vector<NodeId> walk;
-          for (int64_t ci = begin; ci < end; ++ci) {
-            run_candidate(static_cast<size_t>(ci), &walk);
-          }
-        },
-        /*min_chunk=*/8, crashsim_.options().num_threads);
-  } else {
-    std::vector<NodeId> walk;
-    for (size_t ci = 0; ci < candidates.size(); ++ci) {
-      run_candidate(ci, &walk);
+  // The shared walk pass runs through the SoA batch engine with every
+  // source tree attached: one walk sample per (candidate, trial), scored
+  // against all S trees (paired sampling — the walk streams are derived
+  // from (seed, candidate, trial) with a source-free salt, so estimates are
+  // independent of the source set and bit-identical across batch sizes,
+  // thread counts, and candidate-set composition).
+  // mass[si * |candidates| + ci] = raw crash mass of candidate ci against
+  // source si's tree; per-candidate observability slots alongside. Both are
+  // written in disjoint per-candidate columns under parallelism and folded
+  // in index order, so scores and counters stay deterministic.
+  std::vector<double> mass(trees.size() * candidates.size(), 0.0);
+  std::vector<WalkBatchStats> slots(candidates.size());
+  if (!trees.empty() && !candidates.empty()) {
+    std::vector<const ReverseReachableTree*> tree_ptrs;
+    tree_ptrs.reserve(trees.size());
+    for (const ReverseReachableTree& t : trees) tree_ptrs.push_back(&t);
+    const WalkBatchEngine engine(
+        g, tree_ptrs,
+        corrected ? std::span<const double>(diag) : std::span<const double>(),
+        sqrt_c, l_max + 1,
+        ChainSeed(crashsim_.options().mc.seed, kMultiSourceStreamDomain),
+        crashsim_.options().batch_size);
+    auto run_range = [&](int64_t begin, int64_t end) {
+      engine.Run(
+          candidates.subspan(static_cast<size_t>(begin),
+                             static_cast<size_t>(end - begin)),
+          /*skip=*/-1, 0, n_r,
+          std::span<double>(mass).subspan(static_cast<size_t>(begin)),
+          candidates.size(),
+          std::span<WalkBatchStats>(slots).subspan(
+              static_cast<size_t>(begin), static_cast<size_t>(end - begin)));
+    };
+    if (crashsim_.options().num_threads > 1) {
+      ParallelFor(static_cast<int64_t>(candidates.size()), run_range,
+                  /*min_chunk=*/8, crashsim_.options().num_threads);
+    } else {
+      run_range(0, static_cast<int64_t>(candidates.size()));
     }
   }
 
@@ -132,17 +117,19 @@ std::vector<std::vector<double>> CrashSimMultiSource::Compute(
     stats->candidates_evaluated += static_cast<int64_t>(candidates.size());
     stats->walks_sampled += n_r * static_cast<int64_t>(candidates.size());
     for (size_t ci = 0; ci < candidates.size(); ++ci) {
-      stats->walk_steps += walk_steps[ci];
-      stats->tree_hits += tree_hits[ci];
+      stats->walk_steps += slots[ci].walk_steps;
+      stats->tree_hits += slots[ci].tree_hits;
     }
   }
 
   const double inv = 1.0 / static_cast<double>(n_r);
+  std::vector<std::vector<double>> result(
+      sources.size(), std::vector<double>(candidates.size(), 0.0));
   for (size_t si = 0; si < sources.size(); ++si) {
     for (size_t ci = 0; ci < candidates.size(); ++ci) {
       result[si][ci] = (candidates[ci] == sources[si])
                            ? 1.0
-                           : result[si][ci] * inv;
+                           : mass[si * candidates.size() + ci] * inv;
     }
   }
   return result;

@@ -22,13 +22,14 @@ struct QueryStats;  // core/query_stats.h
 // The walk-sampling share of a query is 60-80% of its time (see
 // bench_multi_source), so batching recovers most of it.
 //
-// Estimates are deterministic in (options.seed, candidate) and — by
+// Estimates are deterministic in (options.seed, candidate, trial) and — by
 // construction — use the *same* walk sample for every source, which makes
 // per-source score differences lower-variance than independent runs (paired
 // sampling), a desirable property when ranking sources per candidate.
 // options.num_threads > 1 evaluates candidate columns in parallel on the
-// shared pool; per-candidate streams keep the result bit-identical to the
-// sequential pass at any thread count.
+// shared pool, and the walks run through the SoA batch engine
+// (core/walk_batch.h) with all source trees attached; per-walk streams keep
+// the result bit-identical at any thread count and batch size.
 class CrashSimMultiSource {
  public:
   explicit CrashSimMultiSource(const CrashSimOptions& options);
@@ -57,7 +58,6 @@ class CrashSimMultiSource {
  private:
   CrashSim crashsim_;  // reused for tree building and derived parameters
   const Graph* graph_ = nullptr;
-  Rng rng_;
 };
 
 }  // namespace crashsim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include <new>
 
@@ -16,11 +17,131 @@
 
 namespace crashsim {
 
+// Boxed once-flag + rows (see the header): the flag is not movable, the
+// tree is.
+struct ReverseReachableTree::DenseCache {
+  std::once_flag once;
+  DenseRows rows;
+};
+
 int64_t ReverseReachableTree::MemoryBytes() const {
   return static_cast<int64_t>(entries_.capacity() * sizeof(Entry) +
                               level_offsets_.capacity() * sizeof(int64_t) +
                               level_bits_.capacity() * sizeof(uint64_t) +
                               bits_offset_.capacity() * sizeof(int64_t));
+}
+
+const ReverseReachableTree::DenseRows& ReverseReachableTree::EnsureDenseRows()
+    const {
+  static const DenseRows kEmpty;
+  if (dense_cache_ == nullptr) return kEmpty;
+  DenseCache& cache = *dense_cache_;
+  std::call_once(cache.once, [&] {
+    const size_t n = static_cast<size_t>(n_);
+    if (n == 0) return;
+    // Densify in level order under the byte budget; the floor mirrors the
+    // bitset policy above — below n/64 entries the probes rarely share a
+    // cache line and the compact search path is the better miss. One
+    // sizing pass, one zero-fill, one scatter per level: no regrows.
+    const size_t dense_min = std::max<size_t>(1, n / 64);
+    const size_t row_bytes = n * sizeof(float);
+    size_t budget = kDenseRowBudgetBytes;
+    cache.rows.row_off.assign(static_cast<size_t>(num_levels()), -1);
+    size_t rows = 0;
+    // Level 0 holds only the source and is never probed by a walk
+    // (positions start at 1), so it never earns a row.
+    for (int lvl = 1; lvl <= max_level(); ++lvl) {
+      if (Level(lvl).size() < dense_min || row_bytes > budget) continue;
+      budget -= row_bytes;
+      cache.rows.row_off[static_cast<size_t>(lvl)] =
+          static_cast<int64_t>(rows * n);
+      ++rows;
+    }
+    cache.rows.prob.assign(rows * n, 0.0f);
+    for (int lvl = 1; lvl <= max_level(); ++lvl) {
+      const int64_t off = cache.rows.row_off[static_cast<size_t>(lvl)];
+      if (off < 0) continue;
+      float* row = cache.rows.prob.data() + off;
+      for (const Entry& e : Level(lvl)) {
+        row[static_cast<size_t>(e.node)] = e.prob;
+      }
+    }
+  });
+  return cache.rows;
+}
+
+void ReverseReachableTree::ProbabilityBatch(std::span<const int> levels,
+                                            std::span<const NodeId> nodes,
+                                            std::span<double> out,
+                                            ProbeScratch* scratch) const {
+  const size_t count = nodes.size();
+  CRASHSIM_CHECK(levels.size() == count && out.size() >= count);
+  scratch->base.resize(count);
+  scratch->len.resize(count);
+  scratch->item.clear();
+  // Setup pass: resolve bitset rejects, empty levels, and single-entry
+  // levels immediately; queue everything else for the lockstep search with
+  // its first pivot prefetched.
+  size_t pending = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const int level = levels[i];
+    const NodeId v = nodes[i];
+    if (level < 0 || level > max_level()) {
+      out[i] = 0.0;
+      continue;
+    }
+    const size_t l = static_cast<size_t>(level);
+    const int64_t bits = bits_offset_[l];
+    if (bits >= 0 &&
+        !((level_bits_[static_cast<size_t>(bits) +
+                       (static_cast<size_t>(v) >> 6)] >>
+           (static_cast<uint64_t>(v) & 63)) &
+          1)) {
+      out[i] = 0.0;
+      continue;
+    }
+    const Entry* base = entries_.data() + level_offsets_[l];
+    const size_t len =
+        static_cast<size_t>(level_offsets_[l + 1] - level_offsets_[l]);
+    if (len == 0) {
+      out[i] = 0.0;
+      continue;
+    }
+    if (len == 1) {
+      out[i] = base->node == v ? base->prob : 0.0;
+      continue;
+    }
+    scratch->base[pending] = base;
+    scratch->len[pending] = len;
+    scratch->item.push_back(static_cast<uint32_t>(i));
+    __builtin_prefetch(base + len / 2 - 1);
+    ++pending;
+  }
+  // Lockstep rounds: one bisection step per pending probe per round, so the
+  // pivot loads of all pending probes miss (and resolve) concurrently.
+  while (pending > 0) {
+    size_t keep = 0;
+    for (size_t a = 0; a < pending; ++a) {
+      const Entry* base = scratch->base[a];
+      size_t len = scratch->len[a];
+      const uint32_t i = scratch->item[a];
+      const NodeId v = nodes[i];
+      const size_t half = len / 2;
+      base += (base[half - 1].node < v) ? half : 0;
+      len -= half;
+      if (len > 1) {
+        __builtin_prefetch(base + len / 2 - 1);
+        scratch->base[keep] = base;
+        scratch->len[keep] = len;
+        scratch->item[keep] = i;
+        ++keep;
+      } else {
+        out[i] = base->node == v ? base->prob : 0.0;
+      }
+    }
+    pending = keep;
+    scratch->item.resize(pending);
+  }
 }
 
 std::vector<NodeId> ReverseReachableTree::SupportNodes() const {
@@ -41,6 +162,11 @@ bool operator==(const ReverseReachableTree& a, const ReverseReachableTree& b) {
 }
 
 void ReverseReachableTree::AppendLevel(std::span<const Entry> level) {
+  if (dense_cache_ == nullptr) {
+    // Allocated here — on the single-threaded build path — so the lazy
+    // EnsureDenseRows never has to create the box under concurrency.
+    dense_cache_ = std::make_shared<DenseCache>();
+  }
   entries_.insert(entries_.end(), level.begin(), level.end());
   level_offsets_.push_back(static_cast<int64_t>(entries_.size()));
   // A level earns a bitset once the n/64 words cost at most a few bytes per

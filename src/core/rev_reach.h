@@ -2,6 +2,7 @@
 #define CRASHSIM_CORE_REV_REACH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -79,6 +80,64 @@ class ReverseReachableTree {
     return base->node == v ? base->prob : 0.0;
   }
 
+  // Prefetches the cache lines a subsequent Probability(level, v) touches
+  // first: the level's bitset word and the first binary-search pivot. The
+  // batch walk engine issues these one round ahead so probe latency overlaps
+  // other lanes' advances; a prefetch of an out-of-range level is a no-op.
+  void PrefetchProbability(int level, NodeId v) const {
+    if (level < 0 || level > max_level()) return;
+    const size_t l = static_cast<size_t>(level);
+    const int64_t bits = bits_offset_[l];
+    if (bits >= 0) {
+      __builtin_prefetch(level_bits_.data() + static_cast<size_t>(bits) +
+                         (static_cast<size_t>(v) >> 6));
+    }
+    const size_t len =
+        static_cast<size_t>(level_offsets_[l + 1] - level_offsets_[l]);
+    if (len > 1) {
+      __builtin_prefetch(entries_.data() + level_offsets_[l] + len / 2 - 1);
+    }
+  }
+
+  // Reusable buffers of ProbabilityBatch (callers keep one across calls so
+  // the probe loop never allocates).
+  struct ProbeScratch {
+    std::vector<const Entry*> base;
+    std::vector<size_t> len;
+    std::vector<uint32_t> item;
+  };
+
+  // Batched probe: out[i] = Probability(levels[i], nodes[i]) for every i.
+  // Same results as the scalar probe; the searches run breadth-first in
+  // lockstep (every pending probe does one bisection step per round, with
+  // the next pivot line prefetched), so up to levels.size() cache misses
+  // are in flight at once instead of one — the memory-level parallelism
+  // that the batch walk engine's speedup on out-of-cache trees comes from.
+  void ProbabilityBatch(std::span<const int> levels,
+                        std::span<const NodeId> nodes, std::span<double> out,
+                        ProbeScratch* scratch) const;
+
+  // Dense direct-index probe rows: for every level holding at least n/64
+  // entries (the same density regime that earns a membership bitset), the
+  // level's probabilities flattened into a row of n floats, so a probe is
+  // one data-independent load — prob[row_off[level] + v] — instead of a
+  // bitset test plus binary search. 0.0f marks absence and rows store the
+  // same floats Entry::prob holds, so a dense lookup widened to double is
+  // bit-identical to Probability(). row_off[level] is -1 for levels that
+  // stay on the search path (too sparse, or past kDenseRowBudgetBytes).
+  struct DenseRows {
+    std::vector<float> prob;
+    std::vector<int64_t> row_off;
+  };
+
+  // Returns the dense rows, building them on first use. The build is
+  // cached on the tree (the batch walk engine asks once per query, and
+  // shared trees — the serving cache, multi-source evaluation, repeated
+  // trial blocks — would otherwise re-pay the O(levels * n) scatter every
+  // time). Thread-safe: concurrent first calls race through std::call_once.
+  // A default-constructed tree returns empty rows.
+  const DenseRows& EnsureDenseRows() const;
+
   // Sparse non-zero entries of one level, sorted by node id.
   std::span<const Entry> Level(int level) const {
     if (level < 0 || level > max_level()) return {};
@@ -133,7 +192,21 @@ class ReverseReachableTree {
   // level is sparse enough that binary search alone is the better trade.
   std::vector<uint64_t> level_bits_;
   std::vector<int64_t> bits_offset_;
+  // Lazily built dense probe rows, boxed so the tree stays movable (a
+  // std::once_flag is neither movable nor copyable). Allocated by the
+  // first AppendLevel — i.e. during the single-threaded build — and null
+  // for a default-constructed tree. Copies share the box, which is sound
+  // because the rows are a pure function of the immutable tree content.
+  struct DenseCache;
+  mutable std::shared_ptr<DenseCache> dense_cache_;
 };
+
+// Cap on the bytes of dense probe rows one tree may cache (a row costs
+// 4 * n bytes). Levels densify in level order until the budget runs out;
+// the remainder keeps the bitset + binary-search path. 128 MB covers every
+// level of any query-sized tree while staying far below the resident set
+// of the graphs such trees come from.
+inline constexpr size_t kDenseRowBudgetBytes = size_t{128} << 20;
 
 // Builds the tree: l_max + 1 levels, level 0 = {u: 1}. Entries whose
 // probability falls below prune_threshold are dropped (0 keeps everything

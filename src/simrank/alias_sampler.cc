@@ -1,0 +1,140 @@
+#include "simrank/alias_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crashsim {
+namespace {
+
+// 2^64 as the unit of the fixed-point grid, as a 128-bit constant.
+constexpr __uint128_t kOne = static_cast<__uint128_t>(1) << 64;
+
+// Exclusive cumulative thresholds of the quantised distribution: the first
+// n-1 entries of T with T[i] ~ (sum of weights 0..i) / total * 2^64 (the
+// final threshold, 2^64, is implicit). All-equal weights take an exact
+// integer path, T[i] = ceil((i+1) * 2^64 / n) — precisely the partition
+// UniformIndex induces, which is what makes the uniform degeneracy of both
+// backends exact rather than approximate. The general path rounds through
+// long double (64-bit mantissa), i.e. thresholds within one ulp-at-2^64 of
+// the exact rational — a per-outcome quantisation below n / 2^64.
+std::vector<uint64_t> BuildThresholds(std::span<const double> weights) {
+  const size_t n = weights.size();
+  std::vector<uint64_t> t;
+  if (n <= 1) return t;
+  t.reserve(n - 1);
+  const bool all_equal =
+      std::all_of(weights.begin(), weights.end(),
+                  [&](double w) { return w == weights.front(); });
+  if (all_equal) {
+    for (size_t i = 0; i + 1 < n; ++i) {
+      t.push_back(static_cast<uint64_t>(
+          (static_cast<__uint128_t>(i + 1) << 64) / n +
+          ((static_cast<__uint128_t>(i + 1) << 64) % n != 0 ? 1 : 0)));
+    }
+    return t;
+  }
+  long double total = 0.0L;
+  for (double w : weights) total += static_cast<long double>(w);
+  long double cum = 0.0L;
+  uint64_t prev = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    cum += static_cast<long double>(weights[i]);
+    long double scaled =
+        std::ceil((cum / total) * static_cast<long double>(kOne));
+    if (scaled < 0.0L) scaled = 0.0L;
+    uint64_t ti = scaled >= static_cast<long double>(kOne)
+                      ? ~static_cast<uint64_t>(0)
+                      : static_cast<uint64_t>(scaled);
+    // Monotonicity guard (rounding can stall on ~zero weights).
+    ti = std::max(ti, prev);
+    prev = ti;
+    t.push_back(ti);
+  }
+  return t;
+}
+
+}  // namespace
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights,
+                                 Backend backend) {
+  n_ = weights.size();
+  CRASHSIM_CHECK(n_ > 0) << "DiscreteSampler needs a non-empty support";
+  double total = 0.0;
+  for (double w : weights) {
+    CRASHSIM_CHECK(std::isfinite(w) && w >= 0.0)
+        << "DiscreteSampler weights must be finite and non-negative";
+    total += w;
+  }
+  CRASHSIM_CHECK(total > 0.0)
+      << "DiscreteSampler needs at least one positive weight";
+
+  backend_ = backend != Backend::kAuto ? backend
+             : n_ < kAliasSupportThreshold ? Backend::kCdf
+                                          : Backend::kAlias;
+  threshold_ = BuildThresholds(weights);
+  if (backend_ == Backend::kCdf) return;
+
+  cutoff_.assign(n_, ~static_cast<uint64_t>(0));
+  alias_.resize(n_);
+  for (size_t i = 0; i < n_; ++i) alias_[i] = static_cast<uint32_t>(i);
+  // All-equal weights keep the identity table: bucket j of draw * n >> 64
+  // holds exactly threshold_[j] - threshold_[j-1] draws — the quantised
+  // uniform mass — so accepting every draw in place IS the target
+  // distribution, and Sample(draw) == UniformIndex(draw, n) on every draw
+  // (the exact degeneracy the header contract promises). Running Vose here
+  // would redistribute the +-1-draw bucket imbalance through aliases and
+  // break the identity without improving the distribution.
+  if (std::all_of(weights.begin(), weights.end(),
+                  [&](double w) { return w == weights.front(); })) {
+    return;
+  }
+
+  // Vose's alias construction over the quantised slot widths (threshold
+  // differences), scaled by n so a full bucket is exactly 2^64 low-bit
+  // units. Worklists are processed in ascending index order, so the table
+  // is deterministic in the weight vector.
+  std::vector<__uint128_t> v(n_);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    const __uint128_t hi = i + 1 < n_ ? threshold_[i] : kOne;
+    v[i] = (hi - prev) * n_;
+    prev = i + 1 < n_ ? threshold_[i] : prev;
+  }
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  for (size_t i = n_; i-- > 0;) {
+    // Reverse push so pop_back consumes ascending indices.
+    (v[i] < kOne ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    cutoff_[s] = static_cast<uint64_t>(v[s]);
+    alias_[s] = l;
+    v[l] -= kOne - v[s];
+    (v[l] < kOne ? small : large).push_back(l);
+  }
+  // Leftovers hold (numerically) full buckets: cutoff stays UINT64_MAX and
+  // alias stays the identity, so both branches return the bucket itself.
+}
+
+std::vector<double> TruncatedGeometricWeights(double continue_p,
+                                              int max_len) {
+  CRASHSIM_CHECK(continue_p >= 0.0 && continue_p < 1.0)
+      << "continue probability must lie in [0, 1)";
+  CRASHSIM_CHECK(max_len >= 1) << "max_len must be >= 1";
+  std::vector<double> w(static_cast<size_t>(max_len));
+  double tail = 1.0;  // P(len >= l) entering iteration l
+  for (int l = 1; l < max_len; ++l) {
+    w[static_cast<size_t>(l - 1)] = tail * (1.0 - continue_p);
+    tail *= continue_p;
+  }
+  w[static_cast<size_t>(max_len - 1)] = tail;
+  return w;
+}
+
+}  // namespace crashsim

@@ -9,12 +9,7 @@ inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
-uint64_t SplitMix64::Next() {
-  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+uint64_t SplitMix64::Next() { return SplitMix64Next(state_); }
 
 Rng::Rng(uint64_t seed) {
   SplitMix64 sm(seed);

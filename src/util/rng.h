@@ -6,6 +6,61 @@
 
 namespace crashsim {
 
+// SplitMix64's output finalizer: a bijective 64-bit mixer (every bit of the
+// input affects every bit of the output). Note Mix64(0) == 0 — never feed it
+// raw un-offset values where 0 is a reachable input; ChainSeed below adds a
+// Weyl increment first precisely to avoid that fixed point.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// One SplitMix64 step over caller-owned raw state. Structure-of-arrays batch
+// engines keep one uint64 state per lane and call this directly; the
+// SplitMix64 class below is the same sequence behind an object interface.
+inline uint64_t SplitMix64Next(uint64_t& state) {
+  return Mix64(state += 0x9e3779b97f4a7c15ULL);
+}
+
+// Substream derivation: folds a domain word into a seed, injectively in each
+// argument and nonlinearly overall.
+//
+// This is the library's documented contract for per-walk RNG streams: a
+// query derives salt = ChainSeed(seed, source-or-domain), each candidate
+// derives ChainSeed(salt, candidate), and each Monte-Carlo trial derives
+// ChainSeed(candidate_seed, trial) — the state of that walk's SplitMix64
+// draw stream. Because Mix64 is bijective and the Weyl increment
+// (word + 1) * 0x9e37... is injective modulo 2^64, two words chained onto
+// the *same* seed can never collide; seeds chained from *different* parents
+// collide only by 64-bit birthday chance (~N^2 / 2^65 over N streams —
+// ~3e-9 for a million walks; tests/util/rng_test.cc pins a 2^20-stream grid
+// collision-free). The previous derivation XORed candidate ids into the
+// seed linearly, so (seed, candidate) pairs differing in matching bits
+// produced identical streams across *different* queries; chaining through
+// the finalizer removes that structure.
+inline uint64_t ChainSeed(uint64_t seed, uint64_t word) {
+  return Mix64(seed + (word + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+// Convenience wrapper of the per-walk contract above: the SplitMix64 state
+// of walk (candidate, trial) under a query salt.
+inline uint64_t PerWalkSeed(uint64_t salt, uint64_t candidate,
+                            uint64_t trial) {
+  return ChainSeed(ChainSeed(salt, candidate), trial);
+}
+
+// Maps a uniform 64-bit draw onto [0, bound) by fixed-point multiply
+// (Lemire's method without the rejection step; bound must be > 0). The
+// |bias| per outcome is < bound / 2^64 — immaterial for bound up to graph
+// scale — and unlike rejection the mapping consumes exactly one draw, which
+// the bit-identity contract of the batch walk engine relies on (every walk
+// spends a statically known number of draws regardless of outcome).
+inline uint64_t MapToRange(uint64_t draw, uint64_t bound) {
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(draw) * bound) >> 64);
+}
+
 // SplitMix64 generator. Mainly used to seed Xoshiro256** and to derive
 // decorrelated child streams; passes BigCrush as a 64-bit mixer.
 class SplitMix64 {

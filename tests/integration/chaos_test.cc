@@ -263,7 +263,11 @@ TEST(ChaosTest, SnapshotFaultCutsTemporalAnswerCleanly) {
   query.source = 1;
   query.begin_snapshot = 0;
   query.end_snapshot = tg.num_snapshots() - 1;
-  query.theta = 0.05;
+  // Low enough that the begin snapshot keeps a non-empty candidate set (the
+  // advance loop — and the armed failpoint in it — only runs while
+  // candidates remain); the exact survivors depend on the Monte-Carlo
+  // stream contract, not on this test.
+  query.theta = 0.005;
 
   for (const uint64_t seed : ChaosSeeds()) {
     SCOPED_TRACE("chaos seed " + std::to_string(seed));
@@ -331,6 +335,59 @@ TEST(ChaosTest, WorkerFaultInParallelTrialBlockKeepsPartialExact) {
   // Guard against a vacuous pass: with p = 0.25 across ~13 trial blocks at
   // least one of the built-in seeds must inject a fault (a single-seed
   // CRASHSIM_CHAOS_SEED override may legitimately be spared).
+  if (std::getenv("CRASHSIM_CHAOS_SEED") == nullptr) {
+    EXPECT_GT(seeds_faulted, 0);
+  }
+}
+
+TEST(ChaosTest, BatchedWalkEngineRollsBackFaultedBlocksExactly) {
+  // Same rollback contract with the SoA batch engine at full lane width and
+  // BOTH fault surfaces armed at once: crashsim.trial_block fires at block
+  // granularity, parallel.worker inside the pool mid-block. A faulted block
+  // under batching discards whole lane tiles — the partial answer must
+  // still be the exact result of trials_done complete trials, proven by a
+  // bit-identical fault-free replay with trials_override = trials_done.
+  const Graph g = ChaosGraph();
+  CrashSimOptions opt = EngineOptions(47);
+  opt.num_threads = 4;
+  opt.batch_size = 256;
+  opt.mc.trials_override = 512;
+
+  int seeds_faulted = 0;
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    FailpointScope chaos(seed);
+    FailpointSpec block_spec;
+    block_spec.action = FailpointAction::kError;
+    block_spec.code = StatusCode::kUnavailable;
+    block_spec.probability = 0.15;
+    ASSERT_TRUE(ConfigureFailpoint("crashsim.trial_block", block_spec).ok());
+    FailpointSpec worker_spec;
+    worker_spec.action = FailpointAction::kError;
+    worker_spec.code = StatusCode::kUnavailable;
+    worker_spec.probability = 0.15;
+    ASSERT_TRUE(ConfigureFailpoint("parallel.worker", worker_spec).ok());
+
+    CrashSim engine(opt);
+    engine.Bind(&g);
+    QueryContext ctx;
+    const PartialResult partial = engine.SingleSource(4, &ctx);
+    if (partial.status.ok()) continue;  // this seed spared every surface
+    ++seeds_faulted;
+    EXPECT_EQ(partial.status.code(), StatusCode::kUnavailable);
+    ASSERT_LT(partial.trials_done, opt.mc.trials_override);
+    if (partial.trials_done == 0) continue;
+
+    DisableFailpoints();
+    CrashSimOptions replay_opt = opt;
+    replay_opt.mc.trials_override = partial.trials_done;
+    CrashSim replay(replay_opt);
+    replay.Bind(&g);
+    QueryContext fresh;
+    const PartialResult full = replay.SingleSource(4, &fresh);
+    ASSERT_TRUE(full.status.ok());
+    EXPECT_EQ(partial.scores, full.scores);
+  }
   if (std::getenv("CRASHSIM_CHAOS_SEED") == nullptr) {
     EXPECT_GT(seeds_faulted, 0);
   }

@@ -104,6 +104,9 @@ void DefineAlgoFlags(FlagSet* flags) {
   flags->DefineDouble("delta", 0.01, "failure probability");
   flags->DefineInt("trials", 0, "Monte-Carlo trials (0 = from epsilon/delta)");
   flags->DefineInt("threads", 1, "CrashSim candidate-evaluation threads");
+  flags->DefineInt("batch_size", 64,
+                   "CrashSim SoA walk lanes per thread (1 = scalar loop; "
+                   "scores are identical at every setting)");
   flags->DefineInt("seed", 42, "RNG seed");
   flags->DefineBool("paper_mode", false,
                     "use the paper-verbatim revReach recurrence");
@@ -123,6 +126,7 @@ std::unique_ptr<SimRankAlgorithm> MakeAlgorithm(const FlagSet& flags) {
     opt.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
                                            : RevReachMode::kCorrected;
     opt.num_threads = static_cast<int>(flags.GetInt("threads"));
+    opt.batch_size = static_cast<int>(flags.GetInt("batch_size"));
     return std::make_unique<CrashSim>(opt);
   }
   if (algo == "probesim") return std::make_unique<ProbeSim>(mc);
@@ -313,6 +317,7 @@ int RunTopK(int argc, char** argv) {
     opt.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
                                            : RevReachMode::kCorrected;
     opt.num_threads = static_cast<int>(flags.GetInt("threads"));
+    opt.batch_size = static_cast<int>(flags.GetInt("batch_size"));
     if (Status s = opt.Validate(); !s.ok()) return FailStatus(s);
     CrashSim algo(opt);
     algo.Bind(&g);
@@ -483,6 +488,7 @@ int RunTemporal(int argc, char** argv) {
     opt.crashsim.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
                                                     : RevReachMode::kCorrected;
     opt.crashsim.num_threads = static_cast<int>(flags.GetInt("threads"));
+    opt.crashsim.batch_size = static_cast<int>(flags.GetInt("batch_size"));
     CrashSimT e(opt);
     if (timeout_ms > 0 || want_stats || want_trace) {
       // The observability sink lives on the QueryContext, so --stats routes
@@ -601,6 +607,7 @@ int RunDurable(int argc, char** argv) {
   opt.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
                                          : RevReachMode::kCorrected;
   opt.num_threads = static_cast<int>(flags.GetInt("threads"));
+  opt.batch_size = static_cast<int>(flags.GetInt("batch_size"));
 
   CrashSimDurableTopK engine(opt);
   const DurableTopKAnswer answer = engine.Answer(tg, query);
@@ -638,6 +645,7 @@ std::function<PartialResult(NodeId, QueryContext*)> MakeStressEngine(
     opt.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
                                            : RevReachMode::kCorrected;
     opt.num_threads = static_cast<int>(flags.GetInt("threads"));
+    opt.batch_size = static_cast<int>(flags.GetInt("batch_size"));
     auto engine = std::make_shared<CrashSim>(opt);
     engine->Bind(&g);
     return [engine](NodeId u, QueryContext* ctx) {

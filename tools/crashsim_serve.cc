@@ -89,6 +89,9 @@ int Run(int argc, char** argv) {
   flags.DefineDouble("delta", 0.01, "failure probability");
   flags.DefineInt("trials", 0, "Monte-Carlo trials (0 = from epsilon/delta)");
   flags.DefineInt("threads", 1, "CrashSim candidate-evaluation threads");
+  flags.DefineInt("batch_size", 64,
+                  "CrashSim SoA walk lanes per thread (1 = scalar loop; "
+                  "scores are identical at every setting)");
   flags.DefineInt("seed", 42, "RNG seed");
   flags.DefineBool("paper_mode", false,
                    "use the paper-verbatim revReach recurrence");
@@ -133,6 +136,7 @@ int Run(int argc, char** argv) {
   options.engine.mode = flags.GetBool("paper_mode") ? RevReachMode::kPaper
                                                     : RevReachMode::kCorrected;
   options.engine.num_threads = static_cast<int>(flags.GetInt("threads"));
+  options.engine.batch_size = static_cast<int>(flags.GetInt("batch_size"));
   if (Status s = options.Validate(); !s.ok()) return FailStatus(s);
 
   Server server(std::move(*loaded_or), std::move(temporal), options);

@@ -61,6 +61,31 @@ check_against_baseline() {
     --threshold "${BENCH_CHECK_THRESHOLD:-0.25}"
 }
 
+# Asserts the SoA batch walk engine keeps its speedup over the scalar
+# reference loop on the same workload: ns/op(BM_WalkBatchScalar/10000) over
+# ns/op(BM_WalkBatchSoA/10000) must stay at or above the floor (default 3x;
+# BENCH_BATCH_SPEEDUP_MIN overrides on unusual hosts). Unlike the baseline
+# comparison this is a same-run RATIO, so host speed cancels out — it cannot
+# be dodged by refreshing the baseline on a slower machine.
+check_batch_speedup() {
+  python3 - "$1" "${BENCH_BATCH_SPEEDUP_MIN:-3.0}" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    records = json.load(f)
+floor = float(sys.argv[2])
+ns = {r["bench"]: r["ns_per_op"] for r in records if "bench" in r}
+scalar = ns.get("BM_WalkBatchScalar/10000")
+soa = ns.get("BM_WalkBatchSoA/10000")
+assert scalar and soa, ("walk-batch records missing", sorted(ns))
+ratio = scalar / soa
+print(f"batch speedup: scalar {scalar:.0f} ns/op, SoA {soa:.0f} ns/op, "
+      f"ratio {ratio:.2f}x (floor {floor}x)")
+if ratio < floor:
+    sys.exit(f"batch speedup {ratio:.2f}x below the {floor}x floor")
+PY
+}
+
 BENCH_MICRO="${BUILD_DIR}/bench/bench_micro"
 if [[ ! -x "${BENCH_MICRO}" ]]; then
   echo "bench_micro not found at ${BENCH_MICRO}; build the tree first" >&2
@@ -79,7 +104,7 @@ if [[ "${SMOKE}" -eq 1 ]]; then
     MIN_TIME=0.05
   fi
   "${BENCH_MICRO}" \
-    --benchmark_filter='(BM_BuildRevReach(Paper|Corrected)|BM_TreeProbability(Hit|Miss))/1000$' \
+    --benchmark_filter='((BM_BuildRevReach(Paper|Corrected)|BM_TreeProbability(Hit|Miss))/1000|BM_WalkBatch(Scalar|SoA)/10000)$' \
     --benchmark_min_time="${MIN_TIME}" \
     --json "${OUT}" \
     --trace_out "${OUT_DIR}/BENCH_trace_smoke.json"
@@ -186,6 +211,7 @@ PY
   fi
   if [[ "${CHECK}" -eq 1 ]]; then
     check_against_baseline "${OUT}"
+    check_batch_speedup "${OUT}"
   fi
   echo "smoke OK: $(grep -c '"bench"' "${OUT}") records in ${OUT}"
   exit 0
@@ -205,5 +231,6 @@ if [[ "${UPDATE_BASELINE}" -eq 1 ]]; then
 fi
 if [[ "${CHECK}" -eq 1 ]]; then
   check_against_baseline "${OUT_DIR}/BENCH_micro.json"
+  check_batch_speedup "${OUT_DIR}/BENCH_micro.json"
 fi
 echo "results in ${OUT_DIR}/BENCH_*.json and BENCH_*.csv"
