@@ -1,0 +1,57 @@
+// libFuzzer harness for the graph_io edge-list loader: arbitrary bytes fed
+// through ReadEdgeList must produce either parsed edges that respect the
+// configured limits or a clean Status from the documented taxonomy
+// (kInvalidArgument for malformed rows, kResourceExhausted for limit
+// breaches) — never a crash, an out-of-range id, or silent acceptance of
+// garbage. Both column-strictness modes run on every input.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "util/status.h"
+
+namespace {
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "graph_io_fuzz: %s\n", what);
+    std::abort();
+  }
+}
+
+void CheckOneMode(const std::string& text, bool allow_extra_columns) {
+  crashsim::EdgeListLimits limits;
+  limits.max_nodes = 4096;
+  limits.max_edges = 4096;
+  limits.allow_extra_columns = allow_extra_columns;
+  std::istringstream in(text);
+  auto edges = crashsim::ReadEdgeList(in, limits);
+  if (!edges.ok()) {
+    const crashsim::StatusCode code = edges.status().code();
+    Require(code == crashsim::StatusCode::kInvalidArgument ||
+                code == crashsim::StatusCode::kResourceExhausted,
+            "loader errors must be kInvalidArgument or kResourceExhausted");
+    return;
+  }
+  Require(static_cast<int64_t>(edges.value().size()) <= limits.max_edges,
+          "edge count must respect max_edges");
+  for (const auto& [src, dst] : edges.value()) {
+    Require(src >= 0 && dst >= 0, "accepted ids must be non-negative");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  CheckOneMode(text, /*allow_extra_columns=*/false);
+  CheckOneMode(text, /*allow_extra_columns=*/true);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// libFuzzer harness for the serve/json parser: any byte string must either
+// parse or come back as a clean kInvalidArgument — never crash, hang, or
+// blow the depth-limited stack. Parsed documents must round-trip: Write()
+// output reparses, and a second Write() is byte-identical (the serving
+// protocol's determinism contract leans on that).
+//
+// Built two ways (fuzz/CMakeLists.txt): with -fsanitize=fuzzer under clang
+// for the CI fuzz-smoke lane, and against replay_main.cc as a plain
+// executable that replays the committed corpus as a tier-1 ctest on any
+// compiler.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "serve/json.h"
+#include "util/status.h"
+
+namespace {
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "json_fuzz: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;  // huge inputs only slow the search down
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  crashsim::StatusOr<crashsim::JsonValue> parsed = crashsim::ParseJson(text);
+  if (!parsed.ok()) {
+    Require(parsed.status().code() == crashsim::StatusCode::kInvalidArgument,
+            "malformed input must be kInvalidArgument");
+    return 0;
+  }
+  const std::string first = parsed.value().Write();
+  crashsim::StatusOr<crashsim::JsonValue> reparsed = crashsim::ParseJson(first);
+  Require(reparsed.ok(), "Write() output must reparse");
+  Require(reparsed.value().Write() == first,
+          "Write() must be a fixed point after one round-trip");
+  return 0;
+}

@@ -154,7 +154,7 @@ QueryOutcome QueryExecutor::Execute(const QueryRequest& request) {
   double trial_fraction = 1.0;
   {
     TRACE_SPAN("executor.admit");
-    std::unique_lock<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     // Straight to a slot only when nobody is waiting (no queue jumping).
     if (running_ >= options_.max_concurrent || queued_ > 0) {
       if (queued_ >= options_.max_queue) {
@@ -206,7 +206,7 @@ QueryOutcome QueryExecutor::Execute(const QueryRequest& request) {
               "query deadline expired while queued for admission");
           return outcome;
         }
-        slot_free_.wait_for(lock, std::chrono::milliseconds(5));
+        slot_free_.WaitFor(mu_, std::chrono::milliseconds(5));
       }
       --queued_;
     }
@@ -310,7 +310,7 @@ QueryOutcome QueryExecutor::Execute(const QueryRequest& request) {
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     --running_;
     // EWMA (alpha = 0.2) of completed run times feeds the admission
     // projection; the first completion seeds it.
@@ -318,7 +318,7 @@ QueryOutcome QueryExecutor::Execute(const QueryRequest& request) {
                             ? outcome.run_seconds
                             : 0.8 * ewma_run_seconds_ + 0.2 * outcome.run_seconds;
   }
-  slot_free_.notify_one();
+  slot_free_.NotifyOne();
   return outcome;
 }
 
@@ -335,7 +335,7 @@ QueryExecutor::Stats QueryExecutor::stats() const {
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     s.running = running_;
     s.queued = queued_;
   }

@@ -2,13 +2,13 @@
 #define CRASHSIM_CORE_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 
 #include "core/query_context.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace crashsim {
 
@@ -128,11 +128,12 @@ class QueryExecutor {
  private:
   const ExecutorOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable slot_free_;
-  int running_ = 0;            // under mu_
-  int queued_ = 0;             // under mu_
-  double ewma_run_seconds_ = 0.0;  // under mu_; 0 until the first completion
+  mutable Mutex mu_;
+  CondVar slot_free_;
+  int running_ CRASHSIM_GUARDED_BY(mu_) = 0;
+  int queued_ CRASHSIM_GUARDED_BY(mu_) = 0;
+  // 0 until the first completion seeds the EWMA.
+  double ewma_run_seconds_ CRASHSIM_GUARDED_BY(mu_) = 0.0;
 
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> admitted_{0};

@@ -1,8 +1,10 @@
 #include "core/tree_cache.h"
 
 #include <chrono>
+#include <new>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/rng.h"
@@ -77,7 +79,7 @@ StatusOr<TreeCache::TreePtr> TreeCache::GetOrBuild(NodeId source, int l_max,
                                                    QueryContext* ctx) {
   TRACE_SPAN("tree_cache.get");
   const Key key{source, l_max, mode};
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     auto it = slots_.find(key);
     if (it != slots_.end() && !it->second.building) {
@@ -94,7 +96,7 @@ StatusOr<TreeCache::TreePtr> TreeCache::GetOrBuild(NodeId source, int l_max,
       ++coalesced_;
       CoalescedCounter().Add(1);
       for (;;) {
-        built_.wait_for(lock, std::chrono::milliseconds(5));
+        built_.WaitFor(mu_, std::chrono::milliseconds(5));
         if (ctx != nullptr) {
           if (Status s = ctx->Check(); !s.ok()) {
             return s.WithContext("waiting for shared revReach build");
@@ -116,20 +118,47 @@ StatusOr<TreeCache::TreePtr> TreeCache::GetOrBuild(NodeId source, int l_max,
     ++misses_;
     MissesCounter().Add(1);
     slots_.emplace(key, Slot{});
-    lock.unlock();
-    StatusOr<ReverseReachableTree> built =
-        BuildRevReach(*graph_, source, l_max, options_.c, mode,
-                      options_.prune_threshold, ctx);
-    lock.lock();
-    if (!built.ok()) {
+    lock.Unlock();
+    // Everything that can fail runs outside the lock and funnels into
+    // build_status: a failure that escaped here (the old code let
+    // std::bad_alloc from the build or from make_shared propagate) would
+    // leave the in-flight slot behind with building == true forever, and
+    // every later query for this key would coalesce onto a build that no
+    // longer exists.
+    Status build_status = OkStatus();
+    TreePtr tree;
+    try {
+      if (Status s = CRASHSIM_FAILPOINT("tree_cache.build"); !s.ok()) {
+        build_status = std::move(s);
+      } else if (StatusOr<ReverseReachableTree> built = BuildRevReach(
+                     *graph_, source, l_max, options_.c, mode,
+                     options_.prune_threshold, ctx);
+                 !built.ok()) {
+        build_status = built.status();
+      } else {
+        tree = std::make_shared<const ReverseReachableTree>(
+            std::move(built).value());
+      }
+    } catch (const std::bad_alloc&) {
+      build_status =
+          ResourceExhaustedError("out of memory building shared revReach tree");
+    } catch (...) {
+      // Unexpected escape (e.g. a fault hoisted out of a parallel region the
+      // builder did not convert): still remove the in-flight slot so the key
+      // is not poisoned, then let the exception propagate.
+      lock.Lock();
+      slots_.erase(key);
+      built_.NotifyAll();
+      throw;
+    }
+    lock.Lock();
+    if (!build_status.ok()) {
       // Never cache a failed/partial build; wake waiters so one of them can
       // retry as the new builder.
       slots_.erase(key);
-      built_.notify_all();
-      return built.status().WithContext("shared revReach build");
+      built_.NotifyAll();
+      return build_status.WithContext("shared revReach build");
     }
-    auto tree =
-        std::make_shared<const ReverseReachableTree>(std::move(built).value());
     Slot& slot = slots_[key];
     slot.tree = tree;
     slot.bytes = tree->MemoryBytes();
@@ -140,7 +169,7 @@ StatusOr<TreeCache::TreePtr> TreeCache::GetOrBuild(NodeId source, int l_max,
     EvictOverCapacityLocked();
     BytesGauge().Set(bytes_);
     TreesGauge().Set(static_cast<int64_t>(lru_.size()));
-    built_.notify_all();
+    built_.NotifyAll();
     return tree;
   }
 }
@@ -161,7 +190,7 @@ void TreeCache::EvictOverCapacityLocked() {
 }
 
 TreeCache::Stats TreeCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

@@ -1,17 +1,17 @@
 #ifndef CRASHSIM_CORE_TREE_CACHE_H_
 #define CRASHSIM_CORE_TREE_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/query_context.h"
 #include "core/rev_reach.h"
 #include "graph/graph.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace crashsim {
 
@@ -111,21 +111,22 @@ class TreeCache {
   };
 
   // Drops LRU-tail entries until bytes_ fits capacity again. Never touches
-  // in-flight builds (they are not in lru_ yet). Requires mu_.
-  void EvictOverCapacityLocked();
+  // in-flight builds (they are not in lru_ yet).
+  void EvictOverCapacityLocked() CRASHSIM_REQUIRES(mu_);
 
   const Graph* const graph_;
   const TreeCacheOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable built_;  // notified when a build publishes or fails
-  std::unordered_map<Key, Slot, KeyHash> slots_;  // under mu_
-  std::list<Key> lru_;                            // under mu_; front = hottest
-  int64_t bytes_ = 0;                             // under mu_
-  int64_t hits_ = 0;                              // under mu_
-  int64_t misses_ = 0;                            // under mu_
-  int64_t coalesced_ = 0;                         // under mu_
-  int64_t evictions_ = 0;                         // under mu_
+  mutable Mutex mu_;
+  CondVar built_;  // notified when a build publishes or fails
+  std::unordered_map<Key, Slot, KeyHash> slots_ CRASHSIM_GUARDED_BY(mu_);
+  // front = hottest
+  std::list<Key> lru_ CRASHSIM_GUARDED_BY(mu_);
+  int64_t bytes_ CRASHSIM_GUARDED_BY(mu_) = 0;
+  int64_t hits_ CRASHSIM_GUARDED_BY(mu_) = 0;
+  int64_t misses_ CRASHSIM_GUARDED_BY(mu_) = 0;
+  int64_t coalesced_ CRASHSIM_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ CRASHSIM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace crashsim

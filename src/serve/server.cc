@@ -213,7 +213,7 @@ void Server::Shutdown() {
   }
   std::vector<std::unique_ptr<Connection>> pending;
   {
-    const std::lock_guard<std::mutex> lock(conn_mu_);
+    const MutexLock lock(conn_mu_);
     pending.swap(connections_);
   }
   for (const auto& conn : pending) {
@@ -237,7 +237,7 @@ void Server::AcceptLoop() {
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     ConnectionsCounter().Add(1);
     active_connections_.fetch_add(1, std::memory_order_relaxed);
-    const std::lock_guard<std::mutex> lock(conn_mu_);
+    const MutexLock lock(conn_mu_);
     // Reap finished connection threads so a long-lived server does not
     // accumulate one joinable handle per connection it ever served.
     for (auto it = connections_.begin(); it != connections_.end();) {

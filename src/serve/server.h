@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -15,7 +14,9 @@
 #include "core/executor.h"
 #include "core/tree_cache.h"
 #include "graph/graph_io.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace crashsim {
 
@@ -130,8 +131,9 @@ class Server {
     std::thread thread;
     std::atomic<bool> done{false};
   };
-  std::mutex conn_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;  // under conn_mu_
+  Mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      CRASHSIM_GUARDED_BY(conn_mu_);
   std::atomic<int> active_connections_{0};
 
   std::atomic<int64_t> connections_accepted_{0};

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
-#include <unordered_set>
+#include <vector>
 
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -54,10 +54,17 @@ void Reads::ResampleNode(NodeId v) {
 
 void Reads::ApplyDelta(const EdgeDelta& delta, const Graph* updated) {
   set_graph(updated);
-  // Only I(dst) changes for each event; repair those pointers.
-  std::unordered_set<NodeId> dirty;
-  for (const Edge& e : delta.added) dirty.insert(e.dst);
-  for (const Edge& e : delta.removed) dirty.insert(e.dst);
+  // Only I(dst) changes for each event; repair those pointers. Resampling
+  // consumes the shared rng_ stream, so the dirty nodes must be visited in a
+  // deterministic order — sorted ascending, not hash order — or the post-delta
+  // scores would depend on how the delta happened to hash (bit-identity
+  // contract, DESIGN.md §3b).
+  std::vector<NodeId> dirty;
+  dirty.reserve(delta.added.size() + delta.removed.size());
+  for (const Edge& e : delta.added) dirty.push_back(e.dst);
+  for (const Edge& e : delta.removed) dirty.push_back(e.dst);
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   for (NodeId v : dirty) ResampleNode(v);
 }
 

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <new>
 #include <string>
 #include <thread>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/string_util.h"
 #include "util/trace.h"
 
@@ -31,6 +32,7 @@ const char* const kFailpointCatalog[] = {
     "reads.chunk",           // between READS candidate chunks (context path)
     "rev_reach.alloc",       // allocations inside the revReach tree build
     "rev_reach.build",       // start of a context-aware revReach build
+    "tree_cache.build",      // TreeCache miss about to build a shared tree
 };
 
 // FNV-1a, mixes the site name into the fire-decision stream.
@@ -50,10 +52,13 @@ struct ArmedFailpoint {
 };
 
 struct Registry {
-  std::mutex mu;
-  bool enabled = false;  // mirrors g_enabled, authoritative under mu
-  uint64_t seed = 0;
-  std::map<std::string, ArmedFailpoint, std::less<>> armed;
+  Mutex mu;
+  // All three mirror/armed fields are authoritative under mu; the separate
+  // g_enabled atomic only gates the fast path.
+  bool enabled CRASHSIM_GUARDED_BY(mu) = false;
+  uint64_t seed CRASHSIM_GUARDED_BY(mu) = 0;
+  std::map<std::string, ArmedFailpoint, std::less<>> armed
+      CRASHSIM_GUARDED_BY(mu);
 };
 
 Registry& GlobalRegistry() {
@@ -104,7 +109,7 @@ Status Hit(const char* name) {
   int64_t hit_index = 0;
   {
     Registry& reg = GlobalRegistry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    const MutexLock lock(reg.mu);
     if (!reg.enabled) return OkStatus();  // raced with DisableFailpoints
     const auto it = reg.armed.find(std::string_view(name));
     if (it == reg.armed.end()) return OkStatus();  // site not armed
@@ -147,7 +152,7 @@ bool FailpointsEnabled() {
 
 void EnableFailpoints(uint64_t seed) {
   Registry& reg = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  const MutexLock lock(reg.mu);
   reg.enabled = true;
   reg.seed = seed;
   reg.armed.clear();
@@ -156,7 +161,7 @@ void EnableFailpoints(uint64_t seed) {
 
 void DisableFailpoints() {
   Registry& reg = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  const MutexLock lock(reg.mu);
   reg.enabled = false;
   reg.armed.clear();
   failpoint_internal::g_enabled.store(false, std::memory_order_relaxed);
@@ -185,7 +190,7 @@ Status ConfigureFailpoint(std::string_view name, const FailpointSpec& spec) {
                   static_cast<long long>(spec.max_fires)));
   }
   Registry& reg = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  const MutexLock lock(reg.mu);
   if (!reg.enabled) {
     return InvalidArgumentError(
         "ConfigureFailpoint requires EnableFailpoints() first");
@@ -208,14 +213,14 @@ const std::vector<std::string_view>& FailpointCatalog() {
 
 int64_t FailpointHits(std::string_view name) {
   Registry& reg = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  const MutexLock lock(reg.mu);
   const auto it = reg.armed.find(name);
   return it == reg.armed.end() ? 0 : it->second.hits;
 }
 
 int64_t FailpointFires(std::string_view name) {
   Registry& reg = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  const MutexLock lock(reg.mu);
   const auto it = reg.armed.find(name);
   return it == reg.armed.end() ? 0 : it->second.fires;
 }

@@ -100,14 +100,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -115,7 +115,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 FixedHistogram& MetricsRegistry::histogram(const std::string& name,
                                            std::vector<int64_t> bounds) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<FixedHistogram>(std::move(bounds));
   return *slot;
@@ -123,7 +123,7 @@ FixedHistogram& MetricsRegistry::histogram(const std::string& name,
 
 std::vector<MetricsRegistry::Sample> MetricsRegistry::SnapshotCounters()
     const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<Sample> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -133,7 +133,7 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::SnapshotCounters()
 }
 
 std::vector<MetricsRegistry::Sample> MetricsRegistry::SnapshotGauges() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<Sample> out;
   out.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
@@ -144,7 +144,7 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::SnapshotGauges() const {
 
 std::vector<MetricsRegistry::HistogramSample>
 MetricsRegistry::SnapshotHistograms() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<HistogramSample> out;
   out.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {
@@ -202,7 +202,7 @@ std::string MetricsRegistry::ExportPrometheusText() const {
 }
 
 std::string MetricsRegistry::ToString() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += StrFormat("counter %-32s %lld\n", name.c_str(),
@@ -221,7 +221,7 @@ std::string MetricsRegistry::ToString() const {
 }
 
 void MetricsRegistry::ResetCountersForTest() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) counter->Reset();
 }
 

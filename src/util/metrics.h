@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace crashsim {
 
@@ -165,10 +167,17 @@ class MetricsRegistry {
   void ResetCountersForTest();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+  mutable Mutex mu_;
+  // The maps hold the registration state; the pointed-to metrics are
+  // lock-free and deliberately NOT guarded — the returned references are
+  // stable for the registry's lifetime (that is the whole point of the
+  // lookup-once idiom above).
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CRASHSIM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      CRASHSIM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_
+      CRASHSIM_GUARDED_BY(mu_);
 };
 
 }  // namespace crashsim

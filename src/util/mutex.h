@@ -1,0 +1,128 @@
+#ifndef CRASHSIM_UTIL_MUTEX_H_
+#define CRASHSIM_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace crashsim {
+
+// Annotated mutex / condition-variable wrappers over the std primitives.
+//
+// libstdc++'s std::mutex carries no capability attributes, so Clang's Thread
+// Safety Analysis cannot see std::lock_guard acquisitions — every
+// CRASHSIM_GUARDED_BY member would warn on every access. These thin wrappers
+// (same layout, all calls inline, zero added cost) attach the attributes so
+// the analysis can prove lock discipline for the whole tree; the mutex-wrapper
+// lint rule confines the raw std types to this header so no module can fall
+// back to an invisible-to-the-analysis lock.
+//
+// Usage mirrors the std types:
+//
+//   Mutex mu_;
+//   int value_ CRASHSIM_GUARDED_BY(mu_);
+//   CondVar cv_;
+//
+//   void Set(int v) {
+//     MutexLock lock(mu_);
+//     value_ = v;
+//     cv_.NotifyOne();
+//   }
+//   void WaitNonZero() {
+//     MutexLock lock(mu_);
+//     while (value_ == 0) cv_.Wait(mu_);   // predicate loops stay explicit
+//   }
+//
+// MutexLock is relockable (Unlock()/Lock()) for build-outside-the-lock
+// patterns (TreeCache::GetOrBuild); the scoped-capability annotations track
+// the held state across both calls and the destructor releases only when
+// still held.
+
+class CRASHSIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CRASHSIM_ACQUIRE() { mu_.lock(); }
+  void Unlock() CRASHSIM_RELEASE() { mu_.unlock(); }
+  bool TryLock() CRASHSIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock holder; the scoped-capability annotation lets the analysis treat
+// the constructor as the acquisition and the destructor as the release, so
+// early returns are covered without manual Unlock calls.
+class CRASHSIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CRASHSIM_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() CRASHSIM_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Manual release / reacquire for run-expensive-work-outside-the-lock
+  // sections. The destructor skips the release after Unlock().
+  void Unlock() CRASHSIM_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+  void Lock() CRASHSIM_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+// Condition variable bound to Mutex. Waits take the Mutex itself (which the
+// caller must hold — CRASHSIM_REQUIRES makes that a compile-time contract)
+// rather than a lock object, matching the annotated-wait style of
+// absl::CondVar. There are deliberately no predicate overloads: the wait
+// loop stays visible at the call site, which is what the analysis reasons
+// about and what the repo's bounded-wait (poll cancellation every few ms)
+// idiom needs anyway.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, waits, and reacquires it before returning.
+  void Wait(Mutex& mu) CRASHSIM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  // Bounded wait; returns std::cv_status::timeout when `rel_time` elapsed.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& rel_time)
+      CRASHSIM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, rel_time);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_UTIL_MUTEX_H_

@@ -1,15 +1,15 @@
 #include "util/parallel.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/failpoint.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/trace.h"
 
 namespace crashsim {
@@ -52,15 +52,15 @@ Counter& ShardErrorsCounter() {
 // completion order — and every failing shard bumps parallel.shard_errors.
 struct ForState {
   const std::function<void(int64_t, int64_t)>* fn = nullptr;
-  std::mutex mu;
-  std::condition_variable done;
-  int pending = 0;
-  std::exception_ptr first_error;
-  int64_t first_error_begin = -1;
+  Mutex mu;
+  CondVar done;
+  int pending CRASHSIM_GUARDED_BY(mu) = 0;
+  std::exception_ptr first_error CRASHSIM_GUARDED_BY(mu);
+  int64_t first_error_begin CRASHSIM_GUARDED_BY(mu) = -1;
 
   void RecordError(std::exception_ptr e, int64_t begin) {
     ShardErrorsCounter().Add(1);
-    const std::lock_guard<std::mutex> lock(mu);
+    const MutexLock lock(mu);
     if (!first_error || begin < first_error_begin) {
       first_error = std::move(e);
       first_error_begin = begin;
@@ -94,13 +94,13 @@ class ThreadPool {
 
   void Submit(std::vector<Shard> shards) {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       for (Shard& s : shards) queue_.push_back(s);
     }
     if (shards.size() > 1) {
-      work_ready_.notify_all();
+      work_ready_.NotifyAll();
     } else {
-      work_ready_.notify_one();
+      work_ready_.NotifyOne();
     }
   }
 
@@ -120,8 +120,8 @@ class ThreadPool {
     for (;;) {
       Shard shard;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_ready_.wait(lock, [this] { return !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (queue_.empty()) work_ready_.Wait(mu_);
         shard = queue_.front();
         queue_.pop_front();
       }
@@ -135,14 +135,14 @@ class ThreadPool {
       } catch (...) {
         shard.state->RecordError(std::current_exception(), shard.begin);
       }
-      const std::lock_guard<std::mutex> lock(shard.state->mu);
-      if (--shard.state->pending == 0) shard.state->done.notify_one();
+      const MutexLock lock(shard.state->mu);
+      if (--shard.state->pending == 0) shard.state->done.NotifyOne();
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::deque<Shard> queue_;
+  Mutex mu_;
+  CondVar work_ready_;
+  std::deque<Shard> queue_ CRASHSIM_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 
@@ -217,8 +217,8 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
   }
 
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.done.wait(lock, [&state] { return state.pending == 0; });
+    const MutexLock lock(state.mu);
+    while (state.pending != 0) state.done.Wait(state.mu);
   }
   if (state.first_error) std::rethrow_exception(state.first_error);
 }

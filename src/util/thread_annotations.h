@@ -1,0 +1,86 @@
+#ifndef CRASHSIM_UTIL_THREAD_ANNOTATIONS_H_
+#define CRASHSIM_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (Hutchins et al., "C/C++
+// Thread Safety Analysis"): compile-time lock-discipline proofs for every
+// path, complementing the runtime TSan tier which only proves the
+// interleavings a test happens to exercise. Under clang the CI thread-safety
+// lane builds the tree with -Wthread-safety -Werror, so an unlocked access
+// to a CRASHSIM_GUARDED_BY member or a missing CRASHSIM_REQUIRES contract
+// fails the build. Under GCC (the baseline container) every macro expands to
+// nothing — zero code, zero runtime cost — which
+// tests/util/thread_annotations_test.cc pins by compiling a translation unit
+// that uses all of them.
+//
+// Style guide (docs/STATIC_ANALYSIS.md "Compile-time concurrency gate"):
+//  - Mutex-protected state is declared with CRASHSIM_GUARDED_BY(mu_) on the
+//    member, never with an "// under mu_" comment alone.
+//  - Pointers whose *pointee* is protected use CRASHSIM_PT_GUARDED_BY.
+//  - Private helpers that assume the lock is held take no lock themselves
+//    and are annotated CRASHSIM_REQUIRES(mu_); public entry points are
+//    annotated CRASHSIM_EXCLUDES(mu_) when calling them would self-deadlock.
+//  - Raw __attribute__((guarded_by(...))) spellings are rejected by the
+//    guarded-by lint rule — always use these macros so the GCC no-op path
+//    stays uniform.
+//
+// The annotated Mutex / MutexLock / CondVar wrappers that make these
+// attributes enforceable live in util/mutex.h.
+
+#if defined(__clang__)
+#define CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+// Class-level: the type is a lockable capability ("mutex" names the
+// capability kind in diagnostics). CRASHSIM_LOCKABLE is the legacy-spelling
+// alias for wrappers that predate the capability vocabulary.
+#define CRASHSIM_CAPABILITY(x) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#define CRASHSIM_LOCKABLE CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(lockable)
+// RAII lock holders (MutexLock): acquisition in the constructor, release in
+// the destructor, tracked across the scope by the analysis.
+#define CRASHSIM_SCOPED_CAPABILITY \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Data members: reads and writes require the named capability to be held.
+#define CRASHSIM_GUARDED_BY(x) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#define CRASHSIM_PT_GUARDED_BY(x) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Functions: the caller must hold / must not hold the listed capabilities.
+#define CRASHSIM_REQUIRES(...) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define CRASHSIM_EXCLUDES(...) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Functions that change the set of held capabilities.
+#define CRASHSIM_ACQUIRE(...) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define CRASHSIM_RELEASE(...) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define CRASHSIM_TRY_ACQUIRE(...) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// Lock-order declarations (deadlock detection across capabilities).
+#define CRASHSIM_ACQUIRED_AFTER(...) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define CRASHSIM_ACQUIRED_BEFORE(...) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+// Accessors that expose a capability (e.g. a getter returning a mutex).
+#define CRASHSIM_RETURN_CAPABILITY(x) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Runtime assertion that the capability is held (for code paths the static
+// analysis cannot follow, e.g. a lock taken in another translation unit).
+#define CRASHSIM_ASSERT_CAPABILITY(x) \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+// Escape hatch: the function body is exempt from the analysis. Every use
+// needs a comment explaining why the discipline cannot be expressed.
+#define CRASHSIM_NO_THREAD_SAFETY_ANALYSIS \
+  CRASHSIM_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CRASHSIM_UTIL_THREAD_ANNOTATIONS_H_

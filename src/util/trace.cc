@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "util/mutex.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace crashsim {
@@ -72,8 +73,8 @@ class ThreadBuffer {
 namespace {
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  Mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers CRASHSIM_GUARDED_BY(mu);
   std::atomic<uint64_t> next_flow_id{1};
 };
 
@@ -87,7 +88,7 @@ Registry& GlobalRegistry() {
 ThreadBuffer* CurrentThreadBuffer() {
   thread_local ThreadBuffer* const buffer = [] {
     Registry& r = GlobalRegistry();
-    const std::lock_guard<std::mutex> lock(r.mu);
+    const MutexLock lock(r.mu);
     r.buffers.push_back(std::make_unique<ThreadBuffer>(
         static_cast<uint32_t>(r.buffers.size())));
     return r.buffers.back().get();
@@ -173,7 +174,7 @@ bool TraceEnabled() {
 
 void StartTracing() {
   auto& r = GlobalRegistry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   for (auto& buf : r.buffers) buf->Reset();
   trace_internal::g_trace_enabled.store(true, std::memory_order_relaxed);
 }
@@ -201,7 +202,7 @@ void TraceFlowIn(uint64_t flow_id) {
 
 std::vector<TraceThreadEvents> SnapshotTraceEvents() {
   auto& r = GlobalRegistry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   std::vector<TraceThreadEvents> out;
   out.reserve(r.buffers.size());
   for (const auto& buf : r.buffers) {
@@ -215,7 +216,7 @@ std::vector<TraceThreadEvents> SnapshotTraceEvents() {
 
 int64_t TraceDroppedEvents() {
   auto& r = GlobalRegistry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const MutexLock lock(r.mu);
   int64_t total = 0;
   for (const auto& buf : r.buffers) total += buf->dropped();
   return total;

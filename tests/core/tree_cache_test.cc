@@ -278,5 +278,46 @@ TEST(TreeCacheTest, EvictsLeastRecentlyUsedUnderCapacityPressure) {
   EXPECT_EQ(cache.stats().misses, misses_before + 1);
 }
 
+// Regression: an exception escaping the build — here a simulated allocation
+// failure injected at the tree_cache.build failpoint — used to leave the
+// in-flight slot behind with building == true and no builder. Every later
+// query for that key then coalesced onto a build that no longer existed:
+// deadline-free queries hung, deadline-bearing ones burned their whole
+// budget and came back kDeadlineExceeded. The cache must convert the
+// bad_alloc into kResourceExhausted, drop the slot, and let the next query
+// rebuild the key normally.
+TEST(TreeCacheTest, BadAllocDuringBuildDoesNotPoisonTheKey) {
+  Rng rng(41);
+  const Graph g = ErdosRenyi(200, 900, /*undirected=*/false, &rng);
+  const CrashSimOptions eopt = TestEngineOptions();
+  CrashSim engine(eopt);
+  engine.Bind(&g);
+  TreeCache cache(&g, MatchingCacheOptions(eopt));
+
+  {
+    FailpointScope failpoints(/*seed=*/7);
+    FailpointSpec spec;
+    spec.action = FailpointAction::kBadAlloc;
+    spec.max_fires = 1;
+    ASSERT_TRUE(ConfigureFailpoint("tree_cache.build", spec).ok());
+    StatusOr<TreeCache::TreePtr> faulted =
+        cache.GetOrBuild(3, engine.LMax(), eopt.mode, nullptr);
+    ASSERT_FALSE(faulted.ok());
+    EXPECT_EQ(faulted.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(cache.stats().trees, 0);
+  }
+
+  // Pre-fix, this lookup found the leaked in-flight slot and waited for a
+  // builder that did not exist until its deadline expired. The deadline
+  // bounds the regression to a quick failure instead of a test hang.
+  QueryContext ctx(milliseconds(2000));
+  StatusOr<TreeCache::TreePtr> rebuilt =
+      cache.GetOrBuild(3, engine.LMax(), eopt.mode, &ctx);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_TRUE(**rebuilt == engine.BuildTree(3));
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().trees, 1);
+}
+
 }  // namespace
 }  // namespace crashsim

@@ -75,6 +75,46 @@ TEST(ReadsTest, IndexBytesScalesWithRAndN) {
   EXPECT_EQ(large.IndexBytes(), 10 * small.IndexBytes());
 }
 
+// Regression: ApplyDelta used to resample the dirty destinations in
+// std::unordered_set iteration order. ResampleNode consumes the one shared
+// RNG stream, so hash order leaked into every subsequent score — two deltas
+// with the same edge *set* but different list order produced different
+// indexes. The dirty set must be visited in sorted order: any permutation
+// of an equal delta leaves the index bit-identical.
+TEST(ReadsTest, ApplyDeltaIsInvariantToDeltaPermutation) {
+  Rng rng(17);
+  const Graph g1 = ErdosRenyi(30, 120, false, &rng);
+  std::vector<Edge> edges = g1.Edges();
+  EdgeDelta delta;
+  for (int i = 0; i < 6; ++i) {
+    delta.removed.push_back(edges[static_cast<size_t>(i) * 5]);
+  }
+  delta.added = {{1, 28}, {2, 27}, {3, 26}, {4, 25}, {5, 24}, {6, 23}};
+  std::sort(delta.removed.begin(), delta.removed.end());
+  std::sort(delta.added.begin(), delta.added.end());
+  std::vector<Edge> updated_edges = edges;
+  ApplyDelta(delta, &updated_edges);
+  const Graph g2 = BuildGraph(30, updated_edges);
+
+  // The same delta with both event lists reversed: equal as a set, maximally
+  // different as a sequence (and hashed in a different insertion order).
+  EdgeDelta permuted = delta;
+  std::reverse(permuted.added.begin(), permuted.added.end());
+  std::reverse(permuted.removed.begin(), permuted.removed.end());
+
+  Reads a(Options(200));
+  a.Bind(&g1);
+  a.ApplyDelta(delta, &g2);
+
+  Reads b(Options(200));
+  b.Bind(&g1);
+  b.ApplyDelta(permuted, &g2);
+
+  for (NodeId u = 0; u < g2.num_nodes(); ++u) {
+    ASSERT_EQ(a.SingleSource(u), b.SingleSource(u)) << "source " << u;
+  }
+}
+
 TEST(ReadsTest, ApplyDeltaMatchesRebindDistribution) {
   // Incremental repair must leave the index consistent with the new graph:
   // pointers only ever point to current in-neighbours.

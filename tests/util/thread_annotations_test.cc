@@ -1,0 +1,148 @@
+// Pins the two contracts of util/thread_annotations.h + util/mutex.h that
+// must hold on *every* compiler:
+//
+//  1. The annotation macros are benign no-ops outside clang: a translation
+//     unit using all of them compiles under GCC (this file is that unit —
+//     the class below spells out every macro the header exports).
+//  2. The Mutex / MutexLock / CondVar wrappers behave like the std
+//     primitives they wrap: mutual exclusion, relockable scopes, and
+//     condition-variable wakeup/timeout.
+//
+// The clang-only half — that the annotations *reject* bad locking — lives in
+// tools/lint/check_thread_safety_selftest.sh (ctest: lint.thread_safety).
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace crashsim {
+namespace {
+
+// One use of every exported macro. Compiling this class (and this file's
+// inclusion in the default GCC build) is the test for contract 1.
+class CRASHSIM_LOCKABLE EveryMacroOnce {
+ public:
+  void Acquire() CRASHSIM_ACQUIRE(mu_) { mu_.Lock(); }
+  void Release() CRASHSIM_RELEASE(mu_) { mu_.Unlock(); }
+  bool TryAcquire() CRASHSIM_TRY_ACQUIRE(true, mu_) { return mu_.TryLock(); }
+  void RequiresLock() CRASHSIM_REQUIRES(mu_) { ++guarded_; }
+  void ExcludesLock() CRASHSIM_EXCLUDES(mu_) {}
+  Mutex& GetMutex() CRASHSIM_RETURN_CAPABILITY(mu_) { return mu_; }
+  void AssertHeld() CRASHSIM_ASSERT_CAPABILITY(mu_) {}
+  void Unchecked() CRASHSIM_NO_THREAD_SAFETY_ANALYSIS { ++guarded_; }
+
+ private:
+  Mutex mu_;
+  Mutex later_ CRASHSIM_ACQUIRED_AFTER(mu_);
+  Mutex earlier_ CRASHSIM_ACQUIRED_BEFORE(later_);
+  int guarded_ CRASHSIM_GUARDED_BY(mu_) = 0;
+  int* pointee_ CRASHSIM_PT_GUARDED_BY(mu_) = nullptr;
+};
+
+TEST(ThreadAnnotationsTest, MacrosAreNoOpsOutsideClang) {
+  EveryMacroOnce subject;
+  subject.Acquire();
+  subject.RequiresLock();
+  subject.Release();
+  ASSERT_TRUE(subject.TryAcquire());
+  subject.Release();
+  subject.Unchecked();
+}
+
+TEST(MutexTest, MutualExclusionAcrossThreads) {
+  Mutex mu;
+  int64_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        const MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, int64_t{kThreads} * kIncrements);
+}
+
+TEST(MutexTest, TryLockReflectsContention) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_FALSE(mu.TryLock());
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexLockTest, UnlockThenRelockCoversBuildOutsideTheLock) {
+  Mutex mu;
+  MutexLock lock(mu);
+  lock.Unlock();
+  // While released, another thread can take the mutex.
+  std::thread other([&] {
+    const MutexLock inner(mu);
+  });
+  other.join();
+  lock.Lock();  // reacquired; destructor releases exactly once
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    const MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    EXPECT_TRUE(ready);
+  }
+  signaller.join();
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto status = cv.WaitFor(mu, std::chrono::milliseconds(5));
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      woke.fetch_add(1);
+    });
+  }
+  {
+    const MutexLock lock(mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -8,16 +8,52 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and suppression policy):
                        [[nodiscard]] — a dropped Status silently corrupts
                        the (epsilon, delta) guarantee. Applies to src/**/*.h.
 
-  thread-primitives    Raw std::thread / std::jthread / std::mutex (and
-                       variants) / std::condition_variable are confined to
-                       src/util/parallel.* and src/util/metrics.*. Library
-                       code parallelises through ParallelFor so concurrency
-                       stays in one audited, TSan-hammered place.
+  thread-primitives    Raw std::thread / std::jthread are confined to
+                       src/util/parallel.* (the shared pool) and src/serve/
+                       (accept/connection threads). Library code
+                       parallelises through ParallelFor so thread ownership
+                       stays in audited, TSan-hammered places.
+
+  mutex-wrapper        The std mutex family (std::mutex and variants,
+                       std::condition_variable*, std::lock_guard /
+                       unique_lock / scoped_lock / shared_lock) is confined
+                       to src/util/mutex.h. Everything else locks through
+                       crashsim::Mutex / MutexLock / CondVar, whose
+                       capability attributes are what lets the clang
+                       -Wthread-safety CI lane prove lock discipline — a raw
+                       std::mutex is invisible to that analysis.
+                       std::once_flag / call_once are allowed (no guarded
+                       state, no annotation story).
+
+  guarded-by           A file that declares a crashsim::Mutex member must
+                       annotate the protected state with
+                       CRASHSIM_GUARDED_BY (an "// under mu_" comment alone
+                       no longer counts), and raw __attribute__((guarded_by
+                       / capability / ...)) spellings are confined to
+                       src/util/thread_annotations.h so the GCC no-op path
+                       stays uniform.
 
   unseeded-randomness  No rand()/srand()/time()/std::random_device in
                        src/core/ or src/simrank/: all randomness flows from
                        explicit seeds (util/rng.h) so results stay
                        bit-reproducible across runs and thread counts.
+
+  unordered-iteration  No iteration over std::unordered_map/set (range-for
+                       or .begin() family) in src/core/ or src/simrank/:
+                       hash-table order is libstdc++-version- and
+                       seed-dependent, so any fold, RNG draw, or output
+                       ordering driven by it silently breaks the
+                       bit-identity contract (DESIGN.md §3b). Point lookups
+                       are fine; iterate a sorted copy or switch to
+                       std::map/vector.
+
+  nondeterministic-fold
+                       No std::reduce / std::transform_reduce /
+                       std::execution policies in src/core/ or src/simrank/:
+                       their operand grouping is unspecified, so
+                       floating-point sums change across runs. Accumulate
+                       sequentially or through the PerWalkSeed fold
+                       discipline.
 
   iostream-write       Library code (src/**) never writes to stdout/stderr:
                        no <iostream>, std::cout/cerr/clog, printf, or
@@ -68,23 +104,41 @@ STATUS_DECL_RE = re.compile(
     r"\b(?:Status|StatusOr<[^;=]*>)\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
 )
 
-THREAD_PRIMITIVE_RE = re.compile(
-    r"\bstd::(thread|jthread|mutex|timed_mutex|recursive_mutex|"
-    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
-    r"condition_variable|condition_variable_any)\b"
+THREAD_PRIMITIVE_RE = re.compile(r"\bstd::(thread|jthread)\b")
+# The pool owns its workers; the server owns its accept/connection threads
+# (a TCP server cannot be expressed as a data-parallel loop). Both are
+# TSan-covered. Mutexes and condition variables are governed separately by
+# the mutex-wrapper rule: any module may lock, but only through the
+# annotated wrappers.
+THREAD_EXEMPT = ("src/util/parallel.", "src/serve/")
+
+# The std lock vocabulary, legal only inside the annotated wrappers.
+# std::once_flag / std::call_once are deliberately absent: call_once guards
+# initialisation, not state, and has no capability-annotation story.
+MUTEX_PRIMITIVE_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
 )
-# failpoint.* (registry mutex — a test facility whose armed path favours one
-# audited lock) and executor.* (admission gate: the mutex + condvar *are* the
-# subsystem; ParallelFor is a data-parallel loop, not an admission queue) are
-# deliberate additions, each with its own TSan coverage. tree_cache.* (the
-# single-flight build deduplication *is* a mutex + condvar protocol) and
-# src/serve/ (a TCP server: accept/connection threads and shutdown
-# coordination cannot be expressed as a data-parallel loop) joined with PR 7,
-# both TSan-covered.
-THREAD_EXEMPT = ("src/util/parallel.", "src/util/metrics.",
-                 "src/util/trace.", "src/util/failpoint.",
-                 "src/core/executor.", "src/core/tree_cache.",
-                 "src/serve/")
+MUTEX_EXEMPT = ("src/util/mutex.h",)
+
+# guarded-by rule: a crashsim::Mutex member declaration (references are
+# someone else's mutex and carry no guarded state of their own)...
+MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+(\w+)\s*;")
+# ...and the annotation marker that must appear somewhere in the same file.
+GUARD_MARKER_RE = re.compile(r"\bCRASHSIM_(?:PT_)?GUARDED_BY\s*\(")
+# Raw thread-safety attribute spellings (format/printf attributes etc. are
+# unrelated and stay legal).
+RAW_TSA_ATTR_RE = re.compile(
+    r"__attribute__\s*\(\(\s*(?:guarded_by|pt_guarded_by|capability|"
+    r"lockable|scoped_lockable|requires_capability|acquire_capability|"
+    r"release_capability|try_acquire_capability|locks_excluded|"
+    r"exclusive_locks_required|shared_locks_required|assert_capability|"
+    r"lock_returned|acquired_after|acquired_before|"
+    r"no_thread_safety_analysis)\b"
+)
+GUARDED_EXEMPT = ("src/util/mutex.h", "src/util/thread_annotations.h")
 
 # rand() takes no arguments and C time() is called as time(NULL / nullptr /
 # 0 / &var), so matching those call shapes keeps members *named* time(...)
@@ -95,6 +149,17 @@ RANDOMNESS_RE = re.compile(
     r"\bstd::random_device\b"
 )
 RANDOMNESS_DIRS = ("src/core/", "src/simrank/")
+
+# unordered-iteration: declarations are collected by _unordered_names (a
+# bracket-matching scan, so multi-parameter templates parse); these match the
+# iteration sites.
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:multi)?(?:map|set)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(\w+)\s*\)")
+BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?r?begin\s*\(")
+
+NONDET_FOLD_RE = re.compile(
+    r"\bstd::(reduce|transform_reduce|execution::\w+)\b")
 
 IOSTREAM_RE = re.compile(
     r"#\s*include\s*<iostream>|\bstd::(cout|cerr|clog)\b|"
@@ -185,6 +250,27 @@ class Linter:
             return
         self.findings.append((path, lineno, rule, message))
 
+    @staticmethod
+    def _collect_unordered_names(text):
+        """Names of variables/members declared with an unordered container
+        type: match the template-argument brackets, then take the next
+        identifier. Function names sneak in when the container is a return
+        type, but calls never look like iteration sites, so they are
+        harmless."""
+        names = set()
+        for m in UNORDERED_DECL_RE.finditer(text):
+            i, depth = m.end(), 1
+            while i < len(text) and depth > 0:
+                if text[i] == "<":
+                    depth += 1
+                elif text[i] == ">":
+                    depth -= 1
+                i += 1
+            nm = re.match(r"\s*&?\s*([A-Za-z_]\w*)", text[i:])
+            if nm:
+                names.add(nm.group(1))
+        return names
+
     def lint_file(self, path):
         rel = path.relative_to(self.root).as_posix()
         try:
@@ -193,6 +279,22 @@ class Linter:
             self.findings.append((rel, 0, "io", str(e)))
             return
         lines = text.splitlines()
+
+        # Per-file state for the file-scoped rules. unordered-iteration needs
+        # the declared container names — including members declared in the
+        # sibling header of a .cc — before any line can be judged.
+        self._unordered_names = frozenset()
+        if rel.startswith(RANDOMNESS_DIRS):
+            names = self._collect_unordered_names(text)
+            if path.suffix in (".cc", ".cpp"):
+                for ext in HEADER_EXTS:
+                    sibling = path.with_suffix(ext)
+                    if sibling.is_file():
+                        names |= self._collect_unordered_names(
+                            sibling.read_text(encoding="utf-8",
+                                              errors="replace"))
+            self._unordered_names = frozenset(names)
+        self._has_guard_marker = bool(GUARD_MARKER_RE.search(text))
 
         in_block_comment = False
         prev_code = ""  # previous non-blank, non-comment stripped line
@@ -253,9 +355,57 @@ class Linter:
             if m:
                 self.report(
                     rel, lineno, "thread-primitives",
-                    "std::%s outside src/util/parallel.* and "
-                    "src/util/metrics.* — use ParallelFor" % m.group(1), raw,
+                    "std::%s outside src/util/parallel.* and src/serve/ — "
+                    "use ParallelFor" % m.group(1), raw, prev_raw)
+
+        if rel.startswith("src/") and rel not in MUTEX_EXEMPT:
+            m = MUTEX_PRIMITIVE_RE.search(code)
+            if m:
+                self.report(
+                    rel, lineno, "mutex-wrapper",
+                    "std::%s outside src/util/mutex.h — use crashsim::Mutex"
+                    " / MutexLock / CondVar so the clang thread-safety lane "
+                    "can see the acquisition" % m.group(1), raw, prev_raw)
+
+        if rel.startswith("src/") and rel not in GUARDED_EXEMPT:
+            if RAW_TSA_ATTR_RE.search(code):
+                self.report(
+                    rel, lineno, "guarded-by",
+                    "raw thread-safety attribute spelling — use the "
+                    "CRASHSIM_* macros from util/thread_annotations.h so "
+                    "the GCC no-op path stays uniform", raw, prev_raw)
+            m = MUTEX_MEMBER_RE.search(code)
+            if m and not self._has_guard_marker:
+                self.report(
+                    rel, lineno, "guarded-by",
+                    "Mutex member %r but no CRASHSIM_GUARDED_BY anywhere in "
+                    "this file — annotate the state the mutex protects "
+                    "(util/thread_annotations.h)" % m.group(1), raw,
                     prev_raw)
+
+        if rel.startswith(RANDOMNESS_DIRS):
+            m = NONDET_FOLD_RE.search(code)
+            if m:
+                self.report(
+                    rel, lineno, "nondeterministic-fold",
+                    "std::%s in the estimator core — operand grouping is "
+                    "unspecified, breaking bit-identical folds; accumulate "
+                    "sequentially" % m.group(1), raw, prev_raw)
+            if self._unordered_names:
+                for it_m in RANGE_FOR_RE.finditer(code):
+                    if it_m.group(1) in self._unordered_names:
+                        self.report(
+                            rel, lineno, "unordered-iteration",
+                            "iterating unordered container %r — hash order "
+                            "is nondeterministic; iterate a sorted copy"
+                            % it_m.group(1), raw, prev_raw)
+                for it_m in BEGIN_CALL_RE.finditer(code):
+                    if it_m.group(1) in self._unordered_names:
+                        self.report(
+                            rel, lineno, "unordered-iteration",
+                            "%s.begin() on an unordered container — hash "
+                            "order is nondeterministic; iterate a sorted "
+                            "copy" % it_m.group(1), raw, prev_raw)
 
         if rel.startswith(RANDOMNESS_DIRS):
             m = RANDOMNESS_RE.search(code)

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Negative-compile selftest for the clang thread-safety gate
+# (docs/STATIC_ANALYSIS.md "Compile-time concurrency gate").
+#
+# The -Wthread-safety analysis only exists in clang, and the annotation
+# macros in util/thread_annotations.h expand to nothing everywhere else —
+# so a typo'd macro, a Mutex wrapper that lost its capability attribute, or
+# a clang flag that silently stopped being passed would all fail OPEN: the
+# tree keeps compiling and the gate is simply off. This script pins the
+# gate shut from both sides:
+#
+#   testdata/thread_safety/good.cc    must COMPILE under -Wthread-safety
+#                                     -Werror (legal idioms stay legal)
+#   testdata/thread_safety/bad_*.cc   must each FAIL with a thread-safety
+#                                     diagnostic (the analysis still bites)
+#
+# Without clang++ on PATH (the default GCC container) it SKIP-exits 0, like
+# check_format.sh; the CI thread-safety lane installs clang and runs it for
+# real. Override the compiler with CLANGXX=/path/to/clang++.
+
+set -u
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(cd "${SCRIPT_DIR}/../.." && pwd)"
+FIXTURE_DIR="${SCRIPT_DIR}/testdata/thread_safety"
+
+CLANGXX="${CLANGXX:-clang++}"
+if ! command -v "${CLANGXX}" >/dev/null 2>&1; then
+  echo "check_thread_safety_selftest: SKIP (no clang++ on PATH; the" \
+       "-Wthread-safety analysis is clang-only)"
+  exit 0
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -Wthread-safety -Werror
+       -I "${REPO_ROOT}/src")
+
+fail=0
+
+# Positive half: legal locking idioms must stay warning-free.
+for good in "${FIXTURE_DIR}"/good*.cc; do
+  if ! out="$("${CLANGXX}" "${FLAGS[@]}" "${good}" 2>&1)"; then
+    echo "FAIL: $(basename "${good}") should compile cleanly under" \
+         "-Wthread-safety -Werror but did not:"
+    echo "${out}"
+    fail=1
+  fi
+done
+
+# Negative half: each bad fixture must be rejected, and rejected *by the
+# thread-safety analysis* (not by some unrelated error hiding a fail-open
+# gate). Clang spells the diagnostic group -Wthread-safety-*.
+for bad in "${FIXTURE_DIR}"/bad_*.cc; do
+  if out="$("${CLANGXX}" "${FLAGS[@]}" "${bad}" 2>&1)"; then
+    echo "FAIL: $(basename "${bad}") compiled, but it must be rejected by" \
+         "-Wthread-safety -Werror (the gate is fail-open)"
+    fail=1
+  elif ! grep -q "thread-safety" <<<"${out}"; then
+    echo "FAIL: $(basename "${bad}") was rejected, but not by a" \
+         "thread-safety diagnostic:"
+    echo "${out}"
+    fail=1
+  fi
+done
+
+if [[ "${fail}" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_thread_safety_selftest: OK"

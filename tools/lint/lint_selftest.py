@@ -20,7 +20,12 @@ LINTER = HERE / "check_invariants.py"
 EXPECTED_DIRTY = {
     ("src/core/bad_randomness.cc", "unseeded-randomness"): 3,
     ("src/simrank/bad_status.h", "nodiscard-status"): 3,
-    ("src/graph/bad_thread.cc", "thread-primitives"): 2,
+    ("src/graph/bad_thread.cc", "thread-primitives"): 1,
+    ("src/graph/bad_thread.cc", "mutex-wrapper"): 1,
+    ("src/core/bad_mutex.cc", "mutex-wrapper"): 3,
+    ("src/core/bad_guarded.h", "guarded-by"): 2,
+    ("src/core/bad_unordered.cc", "unordered-iteration"): 2,
+    ("src/core/bad_fold.cc", "nondeterministic-fold"): 2,
     ("src/eval/bad_iostream.cc", "iostream-write"): 3,
     ("src/core/bad_trace.cc", "trace-span-literal"): 2,
     ("src/core/bad_failpoint.cc", "failpoint-catalog"): 2,

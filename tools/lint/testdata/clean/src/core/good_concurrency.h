@@ -1,0 +1,66 @@
+#ifndef CRASHSIM_LINT_TESTDATA_GOOD_CONCURRENCY_H_
+#define CRASHSIM_LINT_TESTDATA_GOOD_CONCURRENCY_H_
+
+// Fixture: concurrency and determinism near-misses the linter must accept —
+// the annotated-wrapper idiom, point lookups on unordered containers,
+// ordered iteration, sequential folds, and justified suppressions.
+
+#include <map>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#define CRASHSIM_GUARDED_BY(x)
+
+namespace crashsim {
+
+class Mutex {};
+
+class GoodRegistry {
+ public:
+  double Lookup(int key) const {
+    // Point lookups never observe hash order: accepted.
+    const auto it = weights_.find(key);
+    return it == weights_.end() ? 0.0 : it->second;
+  }
+
+  double SumSorted() const {
+    // Iterating an *ordered* map is deterministic: accepted.
+    double total = 0.0;
+    for (const auto& entry : sorted_) total += entry.second;
+    return total;
+  }
+
+  double SumAllowed() const {
+    double total = 0.0;
+    // Justified suppression on the line above the iteration is honoured.
+    // lint:allow(unordered-iteration): fixture — sum is order-independent
+    for (const auto& entry : weights_) total += entry.second;
+    return total;
+  }
+
+ private:
+  // A Mutex member is fine when the file annotates its guarded state.
+  Mutex mu_;
+  std::unordered_map<int, double> weights_ CRASHSIM_GUARDED_BY(mu_);
+  std::map<int, double> sorted_;
+};
+
+// std::accumulate folds left-to-right by contract: accepted (only
+// std::reduce / transform_reduce have unspecified grouping).
+inline double SequentialSum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+// std::this_thread is not std::thread: sleeping/yielding is not spawning.
+inline void BackOff() { std::this_thread::yield(); }
+
+// A member function *named* reduce is not std::reduce.
+struct Shrinker {
+  void reduce();
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_LINT_TESTDATA_GOOD_CONCURRENCY_H_

@@ -1,0 +1,31 @@
+#ifndef CRASHSIM_LINT_TESTDATA_CLEAN_MUTEX_H_
+#define CRASHSIM_LINT_TESTDATA_CLEAN_MUTEX_H_
+
+// Fixture: src/util/mutex.h is the one file where the std lock vocabulary is
+// legal — the mutex-wrapper rule's confinement target — and where a Mutex
+// member needs no CRASHSIM_GUARDED_BY (it *is* the wrapper).
+
+#include <condition_variable>
+#include <mutex>
+
+namespace crashsim {
+
+class Mutex {
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // accepted: this is the wrapper itself
+};
+
+class MutexLock {
+ private:
+  Mutex& mu_;  // reference member: not a guarded-by-bearing declaration
+};
+
+class CondVar {
+ private:
+  std::condition_variable cv_;  // accepted here
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_LINT_TESTDATA_CLEAN_MUTEX_H_

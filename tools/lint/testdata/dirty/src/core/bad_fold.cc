@@ -1,0 +1,19 @@
+// Fixture: std::reduce and std::transform_reduce in the estimator core are
+// nondeterministic-fold findings — their operand grouping is unspecified, so
+// floating-point results change across runs.
+
+#include <numeric>
+#include <vector>
+
+namespace crashsim {
+
+double TotalScore(const std::vector<double>& scores) {
+  return std::reduce(scores.begin(), scores.end(), 0.0);  // MUST-FAIL
+}
+
+double DotScore(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::transform_reduce(a.begin(), a.end(), b.begin(),  // MUST-FAIL
+                               0.0);
+}
+
+}  // namespace crashsim

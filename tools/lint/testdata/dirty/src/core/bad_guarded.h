@@ -1,0 +1,30 @@
+#ifndef CRASHSIM_LINT_TESTDATA_BAD_GUARDED_H_
+#define CRASHSIM_LINT_TESTDATA_BAD_GUARDED_H_
+
+// Fixture: guarded-by findings — a crashsim::Mutex member whose file never
+// annotates any state with CRASHSIM_GUARDED_BY, and a raw
+// __attribute__((guarded_by)) spelling instead of the macro.
+
+namespace crashsim {
+
+class Mutex;
+
+class UnannotatedCounter {
+ private:
+  Mutex* raw_ __attribute__((guarded_by(mu_)));  // MUST-FAIL (raw attribute)
+  int count_ = 0;  // under mu_ — comment-only protection no longer counts
+};
+
+class CommentedCounter {
+ private:
+  int count_ = 0;
+};
+
+struct State {
+  Mutex mu_;  // MUST-FAIL (no CRASHSIM_GUARDED_BY anywhere in this file)
+  int value = 0;
+};
+
+}  // namespace crashsim
+
+#endif  // CRASHSIM_LINT_TESTDATA_BAD_GUARDED_H_

@@ -1,0 +1,23 @@
+// Fixture: each std mutex-family token outside src/util/mutex.h is a
+// mutex-wrapper finding — member types, lock holders, and condition
+// variables alike.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace crashsim {
+
+class BadQueue {
+ public:
+  void Signal() {
+    const std::lock_guard<std::mutex> lock(mu_);  // MUST-FAIL
+    ready_ = true;
+  }
+
+ private:
+  std::mutex mu_;                 // MUST-FAIL
+  std::condition_variable cv_;    // MUST-FAIL
+  bool ready_ = false;
+};
+
+}  // namespace crashsim

@@ -1,0 +1,27 @@
+// Fixture: iterating an unordered container in the estimator core is an
+// unordered-iteration finding — both the range-for and the .begin() family.
+// Point lookups (find/count/insert) are accepted.
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace crashsim {
+
+double SumWeights(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {  // MUST-FAIL (range-for)
+    total += entry.second;
+  }
+  return total;
+}
+
+int FirstSeen() {
+  std::unordered_set<int> seen;
+  seen.insert(7);                  // point mutation: accepted
+  if (seen.count(7) > 0) {         // point lookup: accepted
+    return *seen.begin();          // MUST-FAIL (.begin())
+  }
+  return -1;
+}
+
+}  // namespace crashsim

@@ -1,15 +1,16 @@
-// Fixture: raw thread primitives outside src/util/parallel.* and
-// src/util/metrics.* must each produce a thread-primitives finding.
+// Fixture: a raw std::thread outside src/util/parallel.* and src/serve/
+// must produce a thread-primitives finding; a raw std::mutex anywhere
+// outside src/util/mutex.h must produce a mutex-wrapper finding.
 
 #include <mutex>
 #include <thread>
 
 namespace crashsim {
 
-std::mutex g_lock;  // MUST-FAIL
+std::mutex g_lock;  // MUST-FAIL (mutex-wrapper)
 
 void SpawnWorker() {
-  std::thread worker([] {});  // MUST-FAIL
+  std::thread worker([] {});  // MUST-FAIL (thread-primitives)
   worker.join();
 }
 

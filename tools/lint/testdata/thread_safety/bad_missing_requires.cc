@@ -1,0 +1,28 @@
+// Thread-safety selftest fixture: calling a CRASHSIM_REQUIRES(mu_) helper
+// without holding the mutex. Must FAIL under -Wthread-safety -Werror; pins
+// that REQUIRES is enforced at call sites, not just declared.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace crashsim {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    AddLocked(delta);  // BUG: caller does not hold mu_
+  }
+
+ private:
+  void AddLocked(int delta) CRASHSIM_REQUIRES(mu_) { value_ += delta; }
+
+  Mutex mu_;
+  int value_ CRASHSIM_GUARDED_BY(mu_) = 0;
+};
+
+void UseCounter() {
+  Counter c;
+  c.Add(1);
+}
+
+}  // namespace crashsim

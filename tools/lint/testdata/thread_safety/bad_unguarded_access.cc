@@ -1,0 +1,29 @@
+// Thread-safety selftest fixture: a CRASHSIM_GUARDED_BY member written
+// without its mutex held. This file must FAIL to compile under
+// `clang++ -Wthread-safety -Werror` — if it ever compiles, the annotation
+// macros have stopped expanding to real attributes (or the Mutex wrapper
+// lost its capability annotations) and the whole compile-time gate is
+// silently off.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace crashsim {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    value_ += delta;  // BUG: mu_ not held
+  }
+
+ private:
+  Mutex mu_;
+  int value_ CRASHSIM_GUARDED_BY(mu_) = 0;
+};
+
+void UseCounter() {
+  Counter c;
+  c.Add(1);
+}
+
+}  // namespace crashsim

@@ -1,0 +1,62 @@
+// Thread-safety selftest fixture: correct locking discipline. This file must
+// compile CLEANLY under `clang++ -Wthread-safety -Werror -fsyntax-only` — it
+// exercises the idioms the real tree uses (MutexLock scopes, predicate
+// condvar waits, Unlock/Lock build-outside-the-lock, REQUIRES helpers) so a
+// regression in the annotations in util/mutex.h that started rejecting
+// legal code would fail this half of lint.thread_safety.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace crashsim {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    const MutexLock lock(mu_);
+    AddLocked(delta);
+  }
+
+  int Get() const {
+    const MutexLock lock(mu_);
+    return value_;
+  }
+
+  // Predicate condvar wait, the idiom used by ThreadPool / Executor /
+  // TreeCache: loop on the guarded predicate while holding the mutex.
+  void WaitNonZero() {
+    MutexLock lock(mu_);
+    while (value_ == 0) changed_.Wait(mu_);
+  }
+
+  // Build-outside-the-lock, the TreeCache::GetOrBuild shape: release the
+  // scope mid-body, do unlocked work, reacquire before touching state.
+  void Rebuild() {
+    MutexLock lock(mu_);
+    const int snapshot = value_;
+    lock.Unlock();
+    const int rebuilt = snapshot + 1;  // expensive work, lock not held
+    lock.Lock();
+    value_ = rebuilt;
+    changed_.NotifyAll();
+  }
+
+ private:
+  void AddLocked(int delta) CRASHSIM_REQUIRES(mu_) { value_ += delta; }
+
+  mutable Mutex mu_;
+  CondVar changed_;
+  int value_ CRASHSIM_GUARDED_BY(mu_) = 0;
+};
+
+// The analysis is interprocedural within a TU only through annotations;
+// instantiate so the methods are actually analyzed.
+void UseCounter() {
+  Counter c;
+  c.Add(1);
+  c.WaitNonZero();
+  c.Rebuild();
+  (void)c.Get();
+}
+
+}  // namespace crashsim

@@ -7,6 +7,14 @@
 #   tools/run_sanitized_tests.sh                  # address,undefined
 #   tools/run_sanitized_tests.sh thread           # TSan (separate build dir)
 #   tools/run_sanitized_tests.sh all              # both passes in sequence
+#   tools/run_sanitized_tests.sh fuzz             # ASan/UBSan fuzzing pass
+#
+# The fuzz mode is the local mirror of the CI fuzz-smoke lane: it replays
+# the committed corpora under ASan/UBSan, and — when clang++ is on PATH —
+# additionally builds the real libFuzzer binaries (-DCRASHSIM_FUZZ=ON) and
+# runs each for a bounded FUZZ_SECONDS (default 60) of mutation over its
+# corpus. Without clang the corpus replay still runs sanitized under GCC,
+# so `fuzz` never SKIPs entirely.
 #
 # Each sanitizer combination gets its own build directory
 # (build-sanitized-<combo>) so incremental rebuilds stay correct; set the
@@ -25,12 +33,45 @@ if [[ "${SANITIZERS}" == "all" ]]; then
   exec "$0" thread
 fi
 
-BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-sanitized-${SANITIZERS//,/-}}"
-
 # Make sanitizer findings fatal and loud.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=0}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+if [[ "${SANITIZERS}" == "fuzz" ]]; then
+  BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-sanitized-fuzz}"
+  FUZZ_SECONDS="${FUZZ_SECONDS:-60}"
+  CMAKE_ARGS=(-DCRASHSIM_SANITIZE=address,undefined
+              -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+  HAVE_CLANG=0
+  if command -v clang++ >/dev/null 2>&1; then
+    HAVE_CLANG=1
+    CMAKE_ARGS+=(-DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++
+                 -DCRASHSIM_FUZZ=ON)
+  else
+    echo "fuzz: no clang++ on PATH — corpus replay only (libFuzzer is a" \
+         "clang runtime)"
+  fi
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" "${CMAKE_ARGS[@]}"
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+    -R '^fuzz\.replay\.'
+  if [[ "${HAVE_CLANG}" -eq 1 ]]; then
+    for harness in json protocol graph_io; do
+      echo "== libFuzzer: ${harness} (${FUZZ_SECONDS}s) =="
+      # libFuzzer writes new inputs into the FIRST corpus directory; keep
+      # the committed corpus read-only by growing a scratch dir instead.
+      # Promote interesting scratch entries into fuzz/corpus/ by hand.
+      scratch="${BUILD_DIR}/fuzz-corpus/${harness}"
+      mkdir -p "${scratch}"
+      "${BUILD_DIR}/fuzz/${harness}_fuzz" -max_total_time="${FUZZ_SECONDS}" \
+        -print_final_stats=1 "${scratch}" "${REPO_ROOT}/fuzz/corpus/${harness}"
+    done
+  fi
+  exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-sanitized-${SANITIZERS//,/-}}"
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCRASHSIM_SANITIZE="${SANITIZERS}" \

@@ -47,11 +47,13 @@ if [[ $# -gt 0 ]]; then
   FILES=("$@")
 else
   # tools/lint/testdata holds deliberately-broken lint fixtures; they are
-  # linted by lint_selftest.py, never compiled, so tidy skips them.
+  # linted by lint_selftest.py, never compiled, so tidy skips them. fuzz/ is
+  # in scope: the replay drivers compile in every build, and harness bugs
+  # would silently weaken the fuzzing gate.
   mapfile -t FILES < <(
     find "${REPO_ROOT}/src" "${REPO_ROOT}/tools" "${REPO_ROOT}/bench" \
-         "${REPO_ROOT}/tests" -path '*/testdata/*' -prune -o \
-         \( -name '*.cc' -o -name '*.cpp' \) -print | sort)
+         "${REPO_ROOT}/tests" "${REPO_ROOT}/fuzz" -path '*/testdata/*' \
+         -prune -o \( -name '*.cc' -o -name '*.cpp' \) -print | sort)
 fi
 
 echo "clang-tidy: ${#FILES[@]} files, ${JOBS} jobs (${CLANG_TIDY})"
