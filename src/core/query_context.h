@@ -74,6 +74,14 @@ class QueryContext {
   void set_stats(QueryStats* stats) { stats_ = stats; }
   QueryStats* stats() const { return stats_; }
 
+  // Request attribution: the server-assigned id of the request this query
+  // serves (0 = not request-scoped, the CLI/test default). Set at ingress
+  // before the query starts, like the stats sink; read-only afterwards, so
+  // layers below the executor (tree cache, engines) can stamp logs and
+  // trace events without threading another parameter through.
+  void set_request_id(uint64_t id) { request_id_ = id; }
+  uint64_t request_id() const { return request_id_; }
+
   // Degradation knob, set by the QueryExecutor before the query starts (or
   // left at 1.0): engines scale their planned trial budget by this fraction
   // (never below one trial) and report the looser epsilon_achieved. Atomic
@@ -100,6 +108,7 @@ class QueryContext {
   std::atomic<int64_t> trials_done_{0};
   std::atomic<int64_t> trials_target_{0};
   std::atomic<double> trial_fraction_{1.0};
+  uint64_t request_id_ = 0;
   QueryStats* stats_ = nullptr;
   MemoryBudget* memory_budget_ = nullptr;
 };

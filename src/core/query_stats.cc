@@ -52,6 +52,13 @@ std::string QueryStats::ToTable() const {
   AppendRow(&out, "walks sampled", I64(walks_sampled));
   AppendRow(&out, "walk steps", I64(walk_steps));
   AppendRow(&out, "tree hits", I64(tree_hits));
+  if (CacheTouched()) {
+    AppendRow(&out, "cache hits/misses/coalesced",
+              I64(cache_hits) + "/" + I64(cache_misses) + "/" +
+                  I64(cache_coalesced));
+    AppendRow(&out, "cache wait seconds",
+              StrFormat("%.6f", cache_wait_seconds));
+  }
   if (had_deadline) {
     AppendRow(&out, "deadline slack seconds",
               StrFormat("%.6f", deadline_slack_seconds));
@@ -98,6 +105,15 @@ std::string QueryStatsJson(const QueryStatsEnvelope& envelope,
          ", \"walks\": " + I64(stats.walks_sampled) +
          ", \"walk_steps\": " + I64(stats.walk_steps) +
          ", \"tree_hits\": " + I64(stats.tree_hits) + "}";
+
+  // Additive since the v1 schema shipped: present exactly when the query
+  // went through a TreeCache, so cache-less exports stay byte-identical.
+  if (stats.CacheTouched()) {
+    out += ", \"cache\": {\"hits\": " + I64(stats.cache_hits) +
+           ", \"misses\": " + I64(stats.cache_misses) +
+           ", \"coalesced\": " + I64(stats.cache_coalesced) +
+           ", \"wait_seconds\": " + JsonDouble(stats.cache_wait_seconds) + "}";
+  }
 
   out += std::string(", \"deadline\": {\"present\": ") +
          (stats.had_deadline ? "true" : "false") + ", \"slack_seconds\": " +

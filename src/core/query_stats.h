@@ -58,6 +58,19 @@ struct QueryStats {
   int64_t walk_steps = 0;            // total walk steps (|W| - 1 summed)
   int64_t tree_hits = 0;             // walk positions with U(i-1, w) != 0
 
+  // --- shared tree cache (serving path; core/tree_cache.h) ---
+  // Per-request attribution of TreeCache::GetOrBuild outcomes — the
+  // process-wide cache.* metrics aggregated to this one query. All zero
+  // when the query never touched a cache (the CLI/library default).
+  int64_t cache_hits = 0;       // calls served by a resident tree
+  int64_t cache_misses = 0;     // calls where this query became the builder
+  int64_t cache_coalesced = 0;  // calls that waited on another query's build
+  double cache_wait_seconds = 0.0;  // wall time inside GetOrBuild
+
+  bool CacheTouched() const {
+    return cache_hits + cache_misses + cache_coalesced > 0;
+  }
+
   // --- deadline accounting ---
   bool had_deadline = false;
   // Seconds left on the deadline when the last engine call finished

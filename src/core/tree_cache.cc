@@ -4,11 +4,13 @@
 #include <new>
 #include <utility>
 
+#include "core/query_stats.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace crashsim {
@@ -78,6 +80,17 @@ StatusOr<TreeCache::TreePtr> TreeCache::GetOrBuild(NodeId source, int l_max,
                                                    RevReachMode mode,
                                                    QueryContext* ctx) {
   TRACE_SPAN("tree_cache.get");
+  // Per-request attribution (the process-wide cache.* counters cannot say
+  // which query paid for a build): outcome counts plus the wall time this
+  // query spent inside the cache, recorded on every exit path.
+  QueryStats* const qstats = ctx != nullptr ? ctx->stats() : nullptr;
+  struct WaitRecorder {
+    QueryStats* stats;
+    Stopwatch sw;
+    ~WaitRecorder() {
+      if (stats != nullptr) stats->cache_wait_seconds += sw.ElapsedSeconds();
+    }
+  } wait_recorder{qstats, {}};
   const Key key{source, l_max, mode};
   MutexLock lock(mu_);
   for (;;) {
@@ -85,6 +98,7 @@ StatusOr<TreeCache::TreePtr> TreeCache::GetOrBuild(NodeId source, int l_max,
     if (it != slots_.end() && !it->second.building) {
       ++hits_;
       HitsCounter().Add(1);
+      if (qstats != nullptr) ++qstats->cache_hits;
       // Refresh LRU position: this key is hot again.
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.tree;
@@ -95,6 +109,7 @@ StatusOr<TreeCache::TreePtr> TreeCache::GetOrBuild(NodeId source, int l_max,
       // promptly even if the builder stalls.
       ++coalesced_;
       CoalescedCounter().Add(1);
+      if (qstats != nullptr) ++qstats->cache_coalesced;
       for (;;) {
         built_.WaitFor(mu_, std::chrono::milliseconds(5));
         if (ctx != nullptr) {
@@ -117,6 +132,7 @@ StatusOr<TreeCache::TreePtr> TreeCache::GetOrBuild(NodeId source, int l_max,
     // behind an O(l_max * m) build.
     ++misses_;
     MissesCounter().Add(1);
+    if (qstats != nullptr) ++qstats->cache_misses;
     slots_.emplace(key, Slot{});
     lock.Unlock();
     // Everything that can fail runs outside the lock and funnels into

@@ -15,9 +15,12 @@
 
 #include "core/baseline_temporal.h"
 #include "core/crashsim_t.h"
+#include "core/query_stats.h"
 #include "core/temporal_query.h"
+#include "serve/debugz.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
+#include "util/event_log.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -122,6 +125,26 @@ JsonValue ErrorResponse(const Status& status, const JsonValue* request) {
   return response;
 }
 
+// Error responses carry the request id too ("every response carries a
+// request_id" is the correlation contract the smoke lane checks).
+std::string FinishError(JsonValue response, uint64_t request_id) {
+  response.Set("request_id", JsonValue(static_cast<int64_t>(request_id)));
+  return response.Write();
+}
+
+// Pulls the "status" field back out of a serialized response. Our own
+// compact serializer always renders it as "status":"<name>", so a find is
+// exact — this keeps status accounting uniform across every handler path.
+std::string ExtractResponseStatus(const std::string& response) {
+  static constexpr char kKey[] = "\"status\":\"";
+  const size_t pos = response.find(kKey);
+  if (pos == std::string::npos) return "";
+  const size_t begin = pos + sizeof(kKey) - 1;
+  const size_t end = response.find('"', begin);
+  if (end == std::string::npos) return "";
+  return response.substr(begin, end - begin);
+}
+
 }  // namespace
 
 Status ServerOptions::Validate() const {
@@ -147,6 +170,23 @@ Status ServerOptions::Validate() const {
         StrFormat("default_timeout_ms must be >= 0, got %lld",
                   static_cast<long long>(default_timeout_ms)));
   }
+  if (slow_query_ms < -1) {
+    return InvalidArgumentError(
+        StrFormat("slow_query_ms must be >= -1, got %lld",
+                  static_cast<long long>(slow_query_ms)));
+  }
+  if (tracez_capacity < 0) {
+    return InvalidArgumentError(StrFormat(
+        "tracez_capacity must be >= 0, got %d", tracez_capacity));
+  }
+  if (tracez_sample_every < 0) {
+    return InvalidArgumentError(StrFormat(
+        "tracez_sample_every must be >= 0, got %d", tracez_sample_every));
+  }
+  if (slo_ms < 1) {
+    return InvalidArgumentError(StrFormat(
+        "slo_ms must be >= 1, got %lld", static_cast<long long>(slo_ms)));
+  }
   RETURN_IF_ERROR(executor.Validate().WithContext("executor options"));
   RETURN_IF_ERROR(engine.Validate().WithContext("engine options"));
   TreeCacheOptions aligned = cache;
@@ -171,12 +211,27 @@ Server::Server(LoadedGraph graph, std::optional<LoadedTemporalGraph> temporal,
   cache_options.prune_threshold = options_.engine.tree_prune_threshold;
   cache_ = std::make_unique<TreeCache>(&graph_.graph, cache_options);
   executor_ = std::make_unique<QueryExecutor>(options_.executor);
+  if (options_.tracez_capacity > 0) {
+    tracez_ = std::make_unique<TracezRing>(
+        static_cast<size_t>(options_.tracez_capacity));
+  }
+  constexpr int kWindowSeconds = 60;
+  topk_window_ = std::make_unique<SlidingHistogram>(
+      ExponentialBuckets(1, 2.0, 14), kWindowSeconds);
+  temporal_window_ = std::make_unique<SlidingHistogram>(
+      ExponentialBuckets(1, 2.0, 14), kWindowSeconds);
+  // Two buckets — (..slo] and (slo..] — so the window burn rate is exact
+  // at the threshold rather than rounded to a percentile bucket.
+  slo_window_ = std::make_unique<SlidingHistogram>(
+      std::vector<int64_t>{std::max<int64_t>(options_.slo_ms, 1)},
+      kWindowSeconds);
 }
 
 Server::~Server() { Shutdown(); }
 
 Status Server::Start() {
   RETURN_IF_ERROR(options_.Validate());
+  start_ns_ = SteadyNowNanos();
   RETURN_IF_ERROR(
       BindListener(options_.host, options_.port, &listen_fd_, &port_));
   if (options_.metrics_port >= 0) {
@@ -282,83 +337,152 @@ void Server::ServeConnection(int fd) {
 }
 
 std::string Server::HandleRequest(const std::string& payload) {
-  TRACE_SPAN("serve.request");
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  RequestsCounter().Add(1);
-  StatusOr<JsonValue> parsed = ParseJson(payload);
-  if (!parsed.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    ErrorsCounter().Add(1);
-    return ErrorResponse(parsed.status(), nullptr).Write();
-  }
-  if (!parsed->is_object()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    ErrorsCounter().Add(1);
-    return ErrorResponse(
-               InvalidArgumentError("request must be a JSON object"),
-               nullptr)
-        .Write();
-  }
-  const std::string op = parsed->GetString("op", "");
+  // Ingress: assign the request id and install the per-request trace
+  // collector before any span opens, so the ingress span, the executor
+  // spans (queries run synchronously on this thread), and the ParallelFor
+  // worker shards (the scope propagates through Shard) all land in one
+  // reassemblable tree. The collector lives on this stack frame; workers
+  // are joined before the epilogue reads it (read-after-quiesce contract).
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  RequestTrace rtrace(request_id);
+  std::optional<TraceRequestScope> trace_scope;
+  if (tracez_ != nullptr) trace_scope.emplace(&rtrace);
+
+  const Stopwatch timer;
+  RequestRecord record;
+  record.request_id = request_id;
   std::string response;
-  if (op == "ping") {
-    JsonValue pong = JsonValue::Object();
-    if (const JsonValue* id = parsed->Find("id"); id != nullptr) {
-      pong.Set("id", *id);
+  {
+    TRACE_SPAN("serve.request");
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    RequestsCounter().Add(1);
+    StatusOr<JsonValue> parsed = ParseJson(payload);
+    if (!parsed.ok()) {
+      response = FinishError(ErrorResponse(parsed.status(), nullptr),
+                             request_id);
+    } else if (!parsed->is_object()) {
+      response = FinishError(
+          ErrorResponse(InvalidArgumentError("request must be a JSON object"),
+                        nullptr),
+          request_id);
+    } else {
+      const std::string op = parsed->GetString("op", "");
+      record.op = op;
+      if (op == "ping") {
+        JsonValue pong = JsonValue::Object();
+        if (const JsonValue* id = parsed->Find("id"); id != nullptr) {
+          pong.Set("id", *id);
+        }
+        pong.Set("status", JsonValue(std::string("OK")));
+        pong.Set("op", JsonValue(std::string("ping")));
+        pong.Set("request_id", JsonValue(static_cast<int64_t>(request_id)));
+        response = pong.Write();
+      } else if (op == "topk") {
+        response = HandleTopK(*parsed, request_id, &record);
+      } else if (op == "temporal") {
+        response = HandleTemporal(*parsed, request_id, &record);
+      } else {
+        response = FinishError(
+            ErrorResponse(InvalidArgumentError(
+                              "unknown op '" + op +
+                              "' (expected ping | topk | temporal)"),
+                          &*parsed),
+            request_id);
+      }
     }
-    pong.Set("status", JsonValue(std::string("OK")));
-    pong.Set("op", JsonValue(std::string("ping")));
-    response = pong.Write();
-  } else if (op == "topk") {
-    response = HandleTopK(*parsed);
-  } else if (op == "temporal") {
-    response = HandleTemporal(*parsed);
-  } else {
-    response = ErrorResponse(
-                   InvalidArgumentError(
-                       "unknown op '" + op +
-                       "' (expected ping | topk | temporal)"),
-                   &*parsed)
-                   .Write();
-  }
-  // Count any non-OK response uniformly, whatever handler produced it.
-  if (response.find("\"status\":\"OK\"") == std::string::npos) {
+  }  // serve.request span closed: the trace is complete for reassembly
+
+  // Epilogue: rolling windows, error accounting, slow-query log, /tracez.
+  const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+  std::string status = ExtractResponseStatus(response);
+  if (status.empty()) status = "UNKNOWN";
+  if (status != "OK") {
     errors_.fetch_add(1, std::memory_order_relaxed);
     ErrorsCounter().Add(1);
+  }
+  const bool is_query = record.op == "topk" || record.op == "temporal";
+  if (is_query) {
+    const auto latency = static_cast<int64_t>(elapsed_ms);
+    (record.op == "topk" ? topk_window_ : temporal_window_)->Record(latency);
+    slo_window_->Record(latency);
+    if (latency > options_.slo_ms) {
+      slo_breaches_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const bool slow =
+      options_.slow_query_ms >= 0 &&
+      (elapsed_ms >= static_cast<double>(options_.slow_query_ms) ||
+       status != "OK");
+  if (slow && options_.event_log != nullptr) {
+    EventBuilder event("slow_query");
+    event.UInt("request_id", request_id)
+        .Str("op", record.op)
+        .Str("status", status)
+        .Double("elapsed_ms", elapsed_ms)
+        .Double("queue_ms", record.queue_ms)
+        .Double("cache_ms", record.cache_ms)
+        .Double("walk_ms", record.walk_ms)
+        .Double("serialize_ms", record.serialize_ms)
+        .Bool("admitted", record.admitted)
+        .Bool("degraded", record.degraded)
+        .Int("retries", record.retries);
+    if (!record.stats_json.empty()) {
+      event.Raw("query_stats", record.stats_json);
+    }
+    options_.event_log->Log(event.Finish());
+  }
+  if (tracez_ != nullptr) {
+    const int every = options_.tracez_sample_every;
+    const bool sampled = every > 0 && request_id % every == 0;
+    if (slow || sampled) {
+      trace_scope.reset();  // uninstall before reading; this thread only
+      TracezRing::Entry entry;
+      entry.request_id = request_id;
+      entry.op = record.op;
+      entry.status = status;
+      entry.elapsed_ms = elapsed_ms;
+      entry.slow = slow;
+      entry.span_tree = BuildSpanTreeJson(rtrace);
+      tracez_->Add(std::move(entry));
+    }
   }
   return response;
 }
 
-std::string Server::HandleTopK(const JsonValue& request) {
+std::string Server::HandleTopK(const JsonValue& request, uint64_t request_id,
+                               RequestRecord* record) {
   TRACE_SPAN("serve.topk");
   const Stopwatch timer;
   const int64_t original_source = request.GetInt("source", -1);
   const auto it = id_map_.find(original_source);
   if (it == id_map_.end()) {
-    return ErrorResponse(
-               NotFoundError(StrFormat("source id %lld not present in the "
-                                       "graph",
-                                       static_cast<long long>(original_source))),
-               &request)
-        .Write();
+    return FinishError(
+        ErrorResponse(
+            NotFoundError(StrFormat("source id %lld not present in the "
+                                    "graph",
+                                    static_cast<long long>(original_source))),
+            &request),
+        request_id);
   }
   const NodeId source = it->second;
   const int64_t k = request.GetInt("k", 10);
   if (k < 1 || k > options_.max_k) {
-    return ErrorResponse(
-               InvalidArgumentError(StrFormat(
-                   "k must be in [1, %lld], got %lld",
-                   static_cast<long long>(options_.max_k),
-                   static_cast<long long>(k))),
-               &request)
-        .Write();
+    return FinishError(
+        ErrorResponse(InvalidArgumentError(StrFormat(
+                          "k must be in [1, %lld], got %lld",
+                          static_cast<long long>(options_.max_k),
+                          static_cast<long long>(k))),
+                      &request),
+        request_id);
   }
   const int64_t timeout_ms =
       request.GetInt("timeout_ms", options_.default_timeout_ms);
   if (timeout_ms < 0) {
-    return ErrorResponse(InvalidArgumentError("timeout_ms must be >= 0"),
-                         &request)
-        .Write();
+    return FinishError(
+        ErrorResponse(InvalidArgumentError("timeout_ms must be >= 0"),
+                      &request),
+        request_id);
   }
 
   // QueryContext is neither copyable nor movable; emplace the right ctor.
@@ -368,6 +492,9 @@ std::string Server::HandleTopK(const JsonValue& request) {
   } else {
     ctx.emplace();
   }
+  QueryStats qstats;
+  ctx->set_stats(&qstats);
+  ctx->set_request_id(request_id);
   QueryRequest query;
   query.ctx = &*ctx;
   query.run = [this, source](QueryContext* run_ctx) -> PartialResult {
@@ -390,14 +517,34 @@ std::string Server::HandleTopK(const JsonValue& request) {
   const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
   TopKLatencyHistogram().Record(static_cast<int64_t>(elapsed_ms));
 
+  // Per-stage split for the response, the slow-query log, and replay
+  // --latency_out: engine run time divides into cache (inside GetOrBuild:
+  // build, hit, or coalesced wait) and walk (everything else — the MC trial
+  // loop); serialize covers response assembly below.
+  record->admitted = outcome.admitted;
+  record->degraded = outcome.degraded;
+  record->retries = outcome.retries;
+  record->queue_ms = outcome.queue_wait_seconds * 1e3;
+  record->cache_ms = qstats.cache_wait_seconds * 1e3;
+  record->walk_ms =
+      std::max(0.0, outcome.run_seconds * 1e3 - record->cache_ms);
+  QueryStatsEnvelope envelope;
+  envelope.query = "topk";
+  envelope.algo = "crashsim";
+  envelope.n = graph_.graph.num_nodes();
+  envelope.m = graph_.graph.num_edges();
+  envelope.elapsed_seconds = timer.ElapsedSeconds();
+  record->stats_json = QueryStatsJson(envelope, qstats);
+
   if (outcome.result.scores.empty()) {
     // Shed or failed before any scores existed: plain error response, with
     // the admission outcome attached for the client's retry policy.
     JsonValue response = ErrorResponse(outcome.result.status, &request);
     response.Set("admitted", JsonValue(outcome.admitted));
-    return response.Write();
+    return FinishError(std::move(response), request_id);
   }
 
+  const Stopwatch serialize_timer;
   TopK<NodeId> selector(static_cast<size_t>(k));
   for (NodeId v = 0; v < graph_.graph.num_nodes(); ++v) {
     if (v != source) {
@@ -420,6 +567,7 @@ std::string Server::HandleTopK(const JsonValue& request) {
     response.Set("message", JsonValue(outcome.result.status.message()));
   }
   response.Set("op", JsonValue(std::string("topk")));
+  response.Set("request_id", JsonValue(static_cast<int64_t>(request_id)));
   response.Set("source", JsonValue(original_source));
   response.Set("k", JsonValue(k));
   response.Set("nodes", std::move(nodes));
@@ -433,18 +581,27 @@ std::string Server::HandleTopK(const JsonValue& request) {
   response.Set("queue_wait_ms",
                JsonValue(outcome.queue_wait_seconds * 1e3));
   response.Set("run_ms", JsonValue(outcome.run_seconds * 1e3));
+  record->serialize_ms = serialize_timer.ElapsedSeconds() * 1e3;
+  JsonValue stages = JsonValue::Object();
+  stages.Set("queue_ms", JsonValue(record->queue_ms));
+  stages.Set("cache_ms", JsonValue(record->cache_ms));
+  stages.Set("walk_ms", JsonValue(record->walk_ms));
+  stages.Set("serialize_ms", JsonValue(record->serialize_ms));
+  response.Set("stages", std::move(stages));
   return response.Write();
 }
 
-std::string Server::HandleTemporal(const JsonValue& request) {
+std::string Server::HandleTemporal(const JsonValue& request,
+                                   uint64_t request_id,
+                                   RequestRecord* record) {
   TRACE_SPAN("serve.temporal");
   const Stopwatch timer;
   if (!temporal_.has_value()) {
-    return ErrorResponse(
-               InvalidArgumentError(
-                   "server was started without a temporal graph"),
-               &request)
-        .Write();
+    return FinishError(
+        ErrorResponse(InvalidArgumentError(
+                          "server was started without a temporal graph"),
+                      &request),
+        request_id);
   }
   const TemporalGraph& tg = temporal_->graph;
   const int64_t original_source = request.GetInt("source", -1);
@@ -456,12 +613,12 @@ std::string Server::HandleTemporal(const JsonValue& request) {
     }
   }
   if (source < 0) {
-    return ErrorResponse(
-               NotFoundError(StrFormat(
-                   "source id %lld not present in the temporal graph",
-                   static_cast<long long>(original_source))),
-               &request)
-        .Write();
+    return FinishError(
+        ErrorResponse(NotFoundError(StrFormat(
+                          "source id %lld not present in the temporal graph",
+                          static_cast<long long>(original_source))),
+                      &request),
+        request_id);
   }
 
   TemporalQuery query;
@@ -480,18 +637,20 @@ std::string Server::HandleTemporal(const JsonValue& request) {
   } else if (kind == "decreasing") {
     query.kind = TemporalQueryKind::kTrendDecreasing;
   } else {
-    return ErrorResponse(
-               InvalidArgumentError("unknown kind '" + kind +
-                                    "' (threshold | increasing | decreasing)"),
-               &request)
-        .Write();
+    return FinishError(
+        ErrorResponse(InvalidArgumentError(
+                          "unknown kind '" + kind +
+                          "' (threshold | increasing | decreasing)"),
+                      &request),
+        request_id);
   }
   const int64_t timeout_ms =
       request.GetInt("timeout_ms", options_.default_timeout_ms);
   if (timeout_ms < 0) {
-    return ErrorResponse(InvalidArgumentError("timeout_ms must be >= 0"),
-                         &request)
-        .Write();
+    return FinishError(
+        ErrorResponse(InvalidArgumentError("timeout_ms must be >= 0"),
+                      &request),
+        request_id);
   }
 
   std::optional<QueryContext> ctx;
@@ -500,6 +659,9 @@ std::string Server::HandleTemporal(const JsonValue& request) {
   } else {
     ctx.emplace();
   }
+  ctx->set_request_id(request_id);
+  QueryStats qstats;
+  ctx->set_stats(&qstats);
   CrashSimTOptions temporal_options;
   temporal_options.crashsim = options_.engine;
   TemporalAnswer answer;
@@ -518,11 +680,27 @@ std::string Server::HandleTemporal(const JsonValue& request) {
   const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
   TemporalLatencyHistogram().Record(static_cast<int64_t>(elapsed_ms));
 
+  record->admitted = outcome.admitted;
+  record->degraded = outcome.degraded;
+  record->retries = outcome.retries;
+  record->queue_ms = outcome.queue_wait_seconds * 1e3;
+  // Temporal queries build per-request trees (no shared cache), so the
+  // whole engine run counts as walk time.
+  record->walk_ms = outcome.run_seconds * 1e3;
+  QueryStatsEnvelope envelope;
+  envelope.query = "temporal";
+  envelope.algo = "crashsim-t";
+  envelope.n = tg.num_nodes();
+  envelope.m = 0;
+  envelope.elapsed_seconds = timer.ElapsedSeconds();
+  record->stats_json = QueryStatsJson(envelope, qstats);
+
   if (!outcome.admitted) {
     JsonValue response = ErrorResponse(outcome.result.status, &request);
     response.Set("admitted", JsonValue(false));
-    return response.Write();
+    return FinishError(std::move(response), request_id);
   }
+  const Stopwatch serialize_timer;
   JsonValue nodes = JsonValue::Array();
   for (const NodeId v : answer.nodes) {
     nodes.Append(JsonValue(temporal_->original_ids[static_cast<size_t>(v)]));
@@ -537,6 +715,7 @@ std::string Server::HandleTemporal(const JsonValue& request) {
     response.Set("message", JsonValue(outcome.result.status.message()));
   }
   response.Set("op", JsonValue(std::string("temporal")));
+  response.Set("request_id", JsonValue(static_cast<int64_t>(request_id)));
   response.Set("source", JsonValue(original_source));
   response.Set("kind", JsonValue(kind));
   response.Set("begin", JsonValue(static_cast<int64_t>(query.begin_snapshot)));
@@ -547,37 +726,199 @@ std::string Server::HandleTemporal(const JsonValue& request) {
                    answer.stats.snapshots_processed)));
   response.Set("scores_computed", JsonValue(answer.stats.scores_computed));
   response.Set("retries", JsonValue(static_cast<int64_t>(outcome.retries)));
+  response.Set("queue_wait_ms",
+               JsonValue(outcome.queue_wait_seconds * 1e3));
+  response.Set("run_ms", JsonValue(outcome.run_seconds * 1e3));
+  record->serialize_ms = serialize_timer.ElapsedSeconds() * 1e3;
+  JsonValue stages = JsonValue::Object();
+  stages.Set("queue_ms", JsonValue(record->queue_ms));
+  stages.Set("cache_ms", JsonValue(record->cache_ms));
+  stages.Set("walk_ms", JsonValue(record->walk_ms));
+  stages.Set("serialize_ms", JsonValue(record->serialize_ms));
+  response.Set("stages", std::move(stages));
   return response.Write();
 }
 
 void Server::MetricsLoop() {
+  constexpr char kPrometheusType[] =
+      "text/plain; version=0.0.4; charset=utf-8";
   while (WaitAcceptable(metrics_fd_, stop_)) {
     const int fd = accept(metrics_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       break;
     }
-    // Minimal HTTP: read the request head (best effort), answer one GET.
-    char buf[4096];
-    const ssize_t n = recv(fd, buf, sizeof(buf) - 1, 0);
-    std::string head = n > 0 ? std::string(buf, static_cast<size_t>(n)) : "";
-    std::string body;
-    std::string status_line;
-    if (head.rfind("GET /metrics", 0) == 0) {
-      body = MetricsRegistry::Global().ExportPrometheusText();
-      status_line = "HTTP/1.1 200 OK";
-    } else {
-      body = "only GET /metrics is served here\n";
-      status_line = "HTTP/1.1 404 Not Found";
+    // Minimal but tolerant HTTP: reassemble the head across split writes,
+    // then route GET /metrics | /statusz | /tracez; 404 unknown paths, 405
+    // non-GET methods.
+    StatusOr<std::string> head = ReadHttpRequestHead(fd);
+    if (!head.ok()) {
+      close(fd);
+      continue;
     }
-    const std::string response = StrFormat(
-        "%s\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
-        status_line.c_str(), body.size());
-    (void)send(fd, response.data(), response.size(), MSG_NOSIGNAL);
-    (void)send(fd, body.data(), body.size(), MSG_NOSIGNAL);
+    const HttpRequestLine line = ParseHttpRequestLine(*head);
+    if (line.method != "GET") {
+      SendHttpResponse(fd, "HTTP/1.1 405 Method Not Allowed", "text/plain",
+                       "only GET is supported here\n");
+    } else if (line.path == "/metrics") {
+      SendHttpResponse(fd, "HTTP/1.1 200 OK", kPrometheusType,
+                       MetricsRegistry::Global().ExportPrometheusText());
+    } else if (line.path == "/statusz") {
+      SendHttpResponse(fd, "HTTP/1.1 200 OK", "application/json",
+                       BuildStatuszJson());
+    } else if (line.path == "/tracez") {
+      SendHttpResponse(fd, "HTTP/1.1 200 OK", "application/json",
+                       BuildTracezJson());
+    } else {
+      SendHttpResponse(fd, "HTTP/1.1 404 Not Found", "text/plain",
+                       "served paths: /metrics /statusz /tracez\n");
+    }
     close(fd);
   }
+}
+
+std::string Server::BuildStatuszJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema", JsonValue(std::string("crashsim.statusz.v1")));
+  out.Set("uptime_seconds",
+          JsonValue(static_cast<double>(SteadyNowNanos() - start_ns_) / 1e9));
+
+  JsonValue build = JsonValue::Object();
+  build.Set("compiler", JsonValue(std::string(__VERSION__)));
+  build.Set("cxx_standard", JsonValue(static_cast<int64_t>(__cplusplus)));
+#ifdef NDEBUG
+  build.Set("assertions", JsonValue(false));
+#else
+  build.Set("assertions", JsonValue(true));
+#endif
+  out.Set("build", std::move(build));
+
+  JsonValue graph = JsonValue::Object();
+  graph.Set("nodes", JsonValue(static_cast<int64_t>(graph_.graph.num_nodes())));
+  graph.Set("edges", JsonValue(graph_.graph.num_edges()));
+  graph.Set("temporal_snapshots",
+            JsonValue(static_cast<int64_t>(
+                temporal_.has_value() ? temporal_->graph.num_snapshots() : 0)));
+  out.Set("graph", std::move(graph));
+
+  JsonValue server = JsonValue::Object();
+  server.Set("connections_accepted",
+             JsonValue(connections_accepted_.load(std::memory_order_relaxed)));
+  server.Set("connections_rejected",
+             JsonValue(connections_rejected_.load(std::memory_order_relaxed)));
+  server.Set("active_connections",
+             JsonValue(static_cast<int64_t>(
+                 active_connections_.load(std::memory_order_relaxed))));
+  server.Set("requests", JsonValue(requests_.load(std::memory_order_relaxed)));
+  server.Set("errors", JsonValue(errors_.load(std::memory_order_relaxed)));
+  server.Set("last_request_id",
+             JsonValue(static_cast<int64_t>(
+                 next_request_id_.load(std::memory_order_relaxed))));
+  out.Set("server", std::move(server));
+
+  // The executor admission ledger: every submitted query lands in exactly
+  // one of admitted / shed / expired / cancelled, and every admitted one in
+  // completed / failed (plus the live running/queued gauges).
+  const QueryExecutor::Stats exec = executor_->stats();
+  JsonValue executor = JsonValue::Object();
+  executor.Set("submitted", JsonValue(exec.submitted));
+  executor.Set("admitted", JsonValue(exec.admitted));
+  executor.Set("shed_queue_full", JsonValue(exec.shed_queue_full));
+  executor.Set("shed_deadline", JsonValue(exec.shed_deadline));
+  executor.Set("expired_in_queue", JsonValue(exec.expired_in_queue));
+  executor.Set("cancelled_in_queue", JsonValue(exec.cancelled_in_queue));
+  executor.Set("degraded", JsonValue(exec.degraded));
+  executor.Set("retries", JsonValue(exec.retries));
+  executor.Set("completed", JsonValue(exec.completed));
+  executor.Set("failed", JsonValue(exec.failed));
+  executor.Set("running", JsonValue(static_cast<int64_t>(exec.running)));
+  executor.Set("queued", JsonValue(static_cast<int64_t>(exec.queued)));
+  out.Set("executor", std::move(executor));
+
+  const TreeCache::Stats cache = cache_->stats();
+  JsonValue cache_json = JsonValue::Object();
+  cache_json.Set("hits", JsonValue(cache.hits));
+  cache_json.Set("misses", JsonValue(cache.misses));
+  cache_json.Set("coalesced", JsonValue(cache.coalesced));
+  cache_json.Set("evictions", JsonValue(cache.evictions));
+  cache_json.Set("bytes", JsonValue(cache.bytes));
+  cache_json.Set("trees", JsonValue(cache.trees));
+  const int64_t lookups = cache.hits + cache.misses + cache.coalesced;
+  cache_json.Set("hit_rate",
+                 JsonValue(lookups > 0
+                               ? static_cast<double>(cache.hits) /
+                                     static_cast<double>(lookups)
+                               : 0.0));
+  out.Set("cache", std::move(cache_json));
+
+  // Rolling per-minute latency percentiles (SlidingHistogram windows; the
+  // cumulative-since-start view lives in /metrics).
+  JsonValue latency = JsonValue::Object();
+  const auto window_json = [](const SlidingHistogram& window) {
+    const FixedHistogram::Snapshot snap = window.WindowSnapshot();
+    JsonValue w = JsonValue::Object();
+    w.Set("count", JsonValue(snap.total));
+    w.Set("p50_ms",
+          JsonValue(SlidingHistogram::SnapshotQuantile(snap, 0.50)));
+    w.Set("p95_ms",
+          JsonValue(SlidingHistogram::SnapshotQuantile(snap, 0.95)));
+    w.Set("p99_ms",
+          JsonValue(SlidingHistogram::SnapshotQuantile(snap, 0.99)));
+    return w;
+  };
+  latency.Set("window_seconds",
+              JsonValue(static_cast<int64_t>(topk_window_->window_seconds())));
+  latency.Set("topk", window_json(*topk_window_));
+  latency.Set("temporal", window_json(*temporal_window_));
+  out.Set("latency", std::move(latency));
+
+  // SLO burn: fraction of the window's query requests over the threshold.
+  // The slo window's single bound is exactly slo_ms, so "over" is the
+  // overflow bucket — no percentile rounding at the threshold.
+  const FixedHistogram::Snapshot slo = slo_window_->WindowSnapshot();
+  const int64_t window_breaches =
+      slo.cumulative.size() >= 2
+          ? slo.total - slo.cumulative[slo.cumulative.size() - 2]
+          : 0;
+  JsonValue slo_json = JsonValue::Object();
+  slo_json.Set("threshold_ms", JsonValue(options_.slo_ms));
+  slo_json.Set("window_total", JsonValue(slo.total));
+  slo_json.Set("window_breaches", JsonValue(window_breaches));
+  slo_json.Set("window_burn_rate",
+               JsonValue(slo.total > 0
+                             ? static_cast<double>(window_breaches) /
+                                   static_cast<double>(slo.total)
+                             : 0.0));
+  slo_json.Set("breaches_total",
+               JsonValue(slo_breaches_total_.load(std::memory_order_relaxed)));
+  out.Set("slo", std::move(slo_json));
+
+  return out.Write();
+}
+
+std::string Server::BuildTracezJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema", JsonValue(std::string("crashsim.tracez.v1")));
+  out.Set("capacity",
+          JsonValue(static_cast<int64_t>(
+              tracez_ != nullptr ? tracez_->capacity() : 0)));
+  out.Set("sample_every",
+          JsonValue(static_cast<int64_t>(options_.tracez_sample_every)));
+  JsonValue traces = JsonValue::Array();
+  if (tracez_ != nullptr) {
+    for (TracezRing::Entry& entry : tracez_->Snapshot()) {
+      JsonValue t = JsonValue::Object();
+      t.Set("request_id", JsonValue(static_cast<int64_t>(entry.request_id)));
+      t.Set("op", JsonValue(entry.op));
+      t.Set("status", JsonValue(entry.status));
+      t.Set("elapsed_ms", JsonValue(entry.elapsed_ms));
+      t.Set("slow", JsonValue(entry.slow));
+      t.Set("trace", std::move(entry.span_tree));
+      traces.Append(std::move(t));
+    }
+  }
+  out.Set("traces", std::move(traces));
+  return out.Write();
 }
 
 Server::Stats Server::stats() const {

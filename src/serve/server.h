@@ -14,11 +14,14 @@
 #include "core/executor.h"
 #include "core/tree_cache.h"
 #include "graph/graph_io.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace crashsim {
+
+class EventLog;  // util/event_log.h
 
 // crashsim_serve: the always-on query service (ROADMAP item 1, PR 7).
 //
@@ -38,7 +41,20 @@ namespace crashsim {
 //
 // A second listener serves GET /metrics in Prometheus text format for
 // scraping (cache.*, executor.*, serve.* and everything else in the
-// registry).
+// registry), plus the PR-10 debug endpoints: GET /statusz (uptime, build
+// info, executor ledger, cache occupancy, rolling per-minute latency
+// percentiles, SLO burn) and GET /tracez (the most recent sampled request
+// span trees). Unknown paths get 404, non-GET methods 405, and request
+// heads split across arbitrarily many writes still parse.
+//
+// Request-scoped observability (docs/OBSERVABILITY.md): every request is
+// assigned a monotonically increasing request_id at ingress, echoed in the
+// response, stamped on QueryContext, and carried by a per-request
+// RequestTrace through the executor, tree cache, engine, and ParallelFor
+// shards, so /tracez can reassemble the full ingress->executor->engine span
+// tree. Requests that exceed slow_query_ms (or finish non-OK) additionally
+// emit a structured slow_query line to the EventLog with the per-stage time
+// split (queue wait / cache / walk / serialize) and the full QueryStats.
 
 struct ServerOptions {
   // TCP listen address. Port 0 binds an ephemeral port (tests, smoke);
@@ -55,6 +71,23 @@ struct ServerOptions {
   int64_t max_k = 1'000'000;
   // Deadline applied to requests that do not carry timeout_ms; 0 = none.
   int64_t default_timeout_ms = 0;
+
+  // --- request-scoped observability ---
+  // Structured event sink (util/event_log.h), borrowed — must outlive the
+  // server. nullptr disables the slow-query log.
+  EventLog* event_log = nullptr;
+  // Requests slower than this (or finishing non-OK) emit a slow_query
+  // event. 0 logs every request; -1 disables the slow-query log entirely.
+  int64_t slow_query_ms = 500;
+  // /tracez retains the most recent this-many sampled request span trees;
+  // 0 disables per-request trace collection entirely.
+  int tracez_capacity = 64;
+  // Every Nth request is sampled into /tracez even when fast and OK
+  // (slow/non-OK requests are always retained); 0 = only slow ones.
+  int tracez_sample_every = 16;
+  // /statusz SLO threshold: the burn rate is the fraction of the rolling
+  // window's query requests slower than this.
+  int64_t slo_ms = 500;
 
   ExecutorOptions executor;
   // capacity_bytes is honoured; c / prune_threshold are overridden from the
@@ -100,13 +133,35 @@ class Server {
   const QueryExecutor& executor() const { return *executor_; }
 
  private:
+  // Per-request epilogue record: handlers fill in what they know (stage
+  // split, executor verdicts, rendered QueryStats); HandleRequest derives
+  // the rest (status, elapsed) from the response and feeds the rolling
+  // windows, slow-query log, and /tracez ring.
+  struct RequestRecord {
+    uint64_t request_id = 0;
+    std::string op;  // "" until dispatch resolves it
+    bool admitted = true;
+    bool degraded = false;
+    int retries = 0;
+    double queue_ms = 0.0;      // executor admission-queue wait
+    double cache_ms = 0.0;      // inside TreeCache::GetOrBuild
+    double walk_ms = 0.0;       // engine run minus cache time
+    double serialize_ms = 0.0;  // response assembly after the engine
+    std::string stats_json;     // crashsim.query_stats.v1, "" when not run
+  };
+
   void AcceptLoop();
   void MetricsLoop();
   void ServeConnection(int fd);
   // Handles one parsed request; always returns a response object.
   std::string HandleRequest(const std::string& payload);
-  std::string HandleTopK(const class JsonValue& request);
-  std::string HandleTemporal(const class JsonValue& request);
+  std::string HandleTopK(const class JsonValue& request, uint64_t request_id,
+                         RequestRecord* record);
+  std::string HandleTemporal(const class JsonValue& request,
+                             uint64_t request_id, RequestRecord* record);
+  // /statusz and /tracez bodies (serialized JSON).
+  std::string BuildStatuszJson() const;
+  std::string BuildTracezJson() const;
 
   const LoadedGraph graph_;
   const std::optional<LoadedTemporalGraph> temporal_;
@@ -116,6 +171,18 @@ class Server {
   std::unique_ptr<CrashSim> engine_;       // shared; ctx-path is thread-safe
   std::unique_ptr<TreeCache> cache_;
   std::unique_ptr<QueryExecutor> executor_;
+
+  // Request-id source: ingress assigns next_request_id_ + 1, so ids start
+  // at 1 and 0 stays the "not request-scoped" sentinel of QueryContext.
+  std::atomic<uint64_t> next_request_id_{0};
+  std::unique_ptr<class TracezRing> tracez_;  // null when capacity == 0
+  // Rolling per-minute latency windows behind /statusz: per-op percentiles
+  // plus a two-bucket ({slo_ms}) window for the SLO burn rate.
+  std::unique_ptr<SlidingHistogram> topk_window_;
+  std::unique_ptr<SlidingHistogram> temporal_window_;
+  std::unique_ptr<SlidingHistogram> slo_window_;
+  std::atomic<int64_t> slo_breaches_total_{0};
+  int64_t start_ns_ = 0;  // Start() time, for /statusz uptime
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_done_{false};

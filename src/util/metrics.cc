@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace crashsim {
 
@@ -92,6 +93,95 @@ std::vector<int64_t> ExponentialBuckets(int64_t start, double factor,
     bound *= factor;
   }
   return bounds;
+}
+
+SlidingHistogram::SlidingHistogram(std::vector<int64_t> bounds,
+                                   int window_seconds)
+    : bounds_(std::move(bounds)) {
+  CRASHSIM_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  CRASHSIM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                 std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                     bounds_.end())
+      << "histogram bounds must be strictly ascending";
+  CRASHSIM_CHECK(window_seconds >= 1) << "window must be at least 1s";
+  slots_.resize(static_cast<size_t>(window_seconds));
+  for (Slot& s : slots_) s.counts.assign(bounds_.size() + 1, 0);
+}
+
+void SlidingHistogram::Record(int64_t value) {
+  RecordAt(value, SteadyNowNanos() / 1'000'000'000);
+}
+
+void SlidingHistogram::RecordAt(int64_t value, int64_t now_seconds) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  const MutexLock lock(mu_);
+  Slot& slot = slots_[static_cast<size_t>(now_seconds) % slots_.size()];
+  if (slot.second != now_seconds) {
+    // The slot last held a second at least a full window ago: recycle it.
+    slot.second = now_seconds;
+    std::fill(slot.counts.begin(), slot.counts.end(), int64_t{0});
+    slot.total = 0;
+    slot.sum = 0;
+  }
+  ++slot.counts[bucket];
+  ++slot.total;
+  slot.sum += value;
+}
+
+FixedHistogram::Snapshot SlidingHistogram::WindowSnapshot() const {
+  return WindowSnapshotAt(SteadyNowNanos() / 1'000'000'000);
+}
+
+FixedHistogram::Snapshot SlidingHistogram::WindowSnapshotAt(
+    int64_t now_seconds) const {
+  FixedHistogram::Snapshot snap;
+  snap.bounds = bounds_;
+  std::vector<int64_t> counts(bounds_.size() + 1, 0);
+  {
+    const MutexLock lock(mu_);
+    const int64_t window = static_cast<int64_t>(slots_.size());
+    for (const Slot& slot : slots_) {
+      // Keep slots from (now - window, now]; anything older is stale data
+      // the writer has not recycled yet, anything newer is clock skew from
+      // a racing writer and still within tolerance either way.
+      if (slot.second < 0 || slot.second <= now_seconds - window ||
+          slot.second > now_seconds) {
+        continue;
+      }
+      for (size_t i = 0; i < counts.size(); ++i) counts[i] += slot.counts[i];
+      snap.sum += slot.sum;
+    }
+  }
+  int64_t running = 0;
+  snap.cumulative.reserve(counts.size());
+  for (const int64_t c : counts) {
+    running += c;
+    snap.cumulative.push_back(running);
+  }
+  snap.total = running;
+  return snap;
+}
+
+int64_t SlidingHistogram::SnapshotQuantile(
+    const FixedHistogram::Snapshot& snap, double q) {
+  if (snap.total == 0) return 0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Nearest rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * total), resolved to its upper bound.
+  int64_t rank = static_cast<int64_t>(
+      clamped * static_cast<double>(snap.total) + 0.999999);
+  if (rank < 1) rank = 1;
+  if (rank > snap.total) rank = snap.total;
+  for (size_t i = 0; i < snap.bounds.size(); ++i) {
+    if (snap.cumulative[i] >= rank) return snap.bounds[i];
+  }
+  return snap.bounds.back();  // overflow bucket: the window's floor estimate
+}
+
+int64_t SlidingHistogram::WindowQuantile(double q) const {
+  return SnapshotQuantile(WindowSnapshot(), q);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

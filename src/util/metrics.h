@@ -119,6 +119,59 @@ class FixedHistogram {
 std::vector<int64_t> ExponentialBuckets(int64_t start, double factor,
                                         int count);
 
+// Rolling time-windowed histogram: `window_seconds` one-second slots, each
+// a FixedHistogram-shaped bucket array, recycled in place as the clock
+// advances. Record() lands in the slot for the current (steady-clock)
+// second; reads merge only the slots still inside the window, so a
+// WindowSnapshot() taken now describes the last `window_seconds` seconds
+// and old traffic ages out with no reset call. This is what /statusz rolls
+// per-minute p50/p95/p99 and SLO burn from — the process-lifetime
+// FixedHistogram above can only ever converge to its all-time shape.
+//
+// Mutex-protected (annotated wrapper): recording is once per request and
+// reading once per scrape, so contention is irrelevant and the plain
+// guarded arrays keep it trivially TSan-clean.
+class SlidingHistogram {
+ public:
+  // `bounds` must be non-empty and strictly ascending; `window_seconds`
+  // >= 1. Slot memory is allocated up front; Record() never allocates.
+  SlidingHistogram(std::vector<int64_t> bounds, int window_seconds);
+
+  void Record(int64_t value);
+  // Test seam: records at an explicit second instead of the steady clock.
+  void RecordAt(int64_t value, int64_t now_seconds);
+
+  // Merged counts over the slots within [now - window, now], in the same
+  // cumulative shape as FixedHistogram::Snapshot.
+  FixedHistogram::Snapshot WindowSnapshot() const;
+  FixedHistogram::Snapshot WindowSnapshotAt(int64_t now_seconds) const;
+
+  // Nearest-rank quantile (q in [0,1]) over the current window, resolved
+  // to the upper bound of the containing bucket (the last finite bound for
+  // the overflow bucket). 0 when the window is empty.
+  int64_t WindowQuantile(double q) const;
+
+  int window_seconds() const { return static_cast<int>(slots_.size()); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+  // Nearest-rank quantile over an already-taken snapshot (same resolution
+  // rules as WindowQuantile) — take one snapshot, derive many quantiles.
+  static int64_t SnapshotQuantile(const FixedHistogram::Snapshot& snap,
+                                  double q);
+
+ private:
+  struct Slot {
+    int64_t second = -1;          // steady-clock second this slot holds
+    std::vector<int64_t> counts;  // bounds_.size() + 1 (overflow last)
+    int64_t total = 0;
+    int64_t sum = 0;
+  };
+
+  mutable Mutex mu_;
+  std::vector<int64_t> bounds_;
+  std::vector<Slot> slots_ CRASHSIM_GUARDED_BY(mu_);
+};
+
 // Named registry. Lookup-or-create takes a mutex; the returned references
 // are stable for the registry's lifetime, so hot paths resolve a metric
 // once (function-local static reference) and then touch only the metric.

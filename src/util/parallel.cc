@@ -70,12 +70,15 @@ struct ForState {
 
 // A contiguous shard of one ParallelFor range, queued for a pool worker.
 // flow_id ties the shard back to the spawning ParallelFor span in traces
-// (0 = tracing was off at submit time).
+// (0 = tracing was off at submit time). request_trace carries the
+// submitting thread's request collector so worker-side spans land in the
+// same per-request trace (nullptr = no request scope at submit time).
 struct Shard {
-  ForState* state;
-  int64_t begin;
-  int64_t end;
-  uint64_t flow_id;
+  ForState* state = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  uint64_t flow_id = 0;
+  RequestTrace* request_trace = nullptr;
 };
 
 // True on threads owned by the pool: a nested ParallelFor on a worker runs
@@ -126,8 +129,11 @@ class ThreadPool {
         queue_.pop_front();
       }
       try {
-        // The shard span plus the flow-in arrow make worker execution
-        // attributable to the ParallelFor call that spawned it in Perfetto.
+        // The submitting thread's request collector follows the shard onto
+        // this worker, so the shard span plus the flow-in arrow make worker
+        // execution attributable both to the ParallelFor call that spawned
+        // it (Perfetto) and to the serving request it belongs to (/tracez).
+        const TraceRequestScope request_scope(shard.request_trace);
         TRACE_SPAN("parallel_for.shard");
         TraceFlowIn(shard.flow_id);
         CRASHSIM_FAILPOINT_THROW("parallel.worker");
@@ -190,8 +196,12 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
   ForState state;
   state.fn = &fn;
 
-  // Flow arrow from this call's span to every shard span it spawns.
-  const uint64_t flow_id = TraceEnabled() ? NewTraceFlowId() : 0;
+  // Flow arrow from this call's span to every shard span it spawns. A
+  // request scope counts as a recorder: its collector receives the flow
+  // events even when global tracing is off.
+  RequestTrace* const request_trace = CurrentRequestTrace();
+  const uint64_t flow_id =
+      (TraceEnabled() || request_trace != nullptr) ? NewTraceFlowId() : 0;
   TraceFlowOut(flow_id);
 
   std::vector<Shard> shards;
@@ -200,7 +210,7 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
     const int64_t begin = t * chunk;
     const int64_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    shards.push_back({&state, begin, end, flow_id});
+    shards.push_back({&state, begin, end, flow_id, request_trace});
   }
   state.pending = static_cast<int>(shards.size());
   // Caller shard + pool shards; counted before Submit so the total is stable

@@ -5,15 +5,32 @@
 #include <memory>
 #include <utility>
 
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/string_util.h"
 #include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace crashsim {
+namespace {
+
+// Drops across both recorders (global rings and request collectors),
+// exported as crashsim_trace_dropped_events_total so silent overflow is
+// visible on /metrics (the in-process TraceDroppedEvents() only covers the
+// global rings and resets with StartTracing()).
+Counter& TraceDropCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("trace.dropped_events");
+  return c;
+}
+
+}  // namespace
+
 namespace trace_internal {
 
 std::atomic<bool> g_trace_enabled{false};
+
+thread_local constinit RequestTrace* g_request_trace = nullptr;
 
 // Per-thread event buffer. Only the owning thread writes slots; size_ is a
 // release-store after the slot write, so a reader that acquire-loads size_
@@ -31,16 +48,19 @@ class ThreadBuffer {
 
   uint32_t tid() const { return tid_; }
 
-  void Push(const char* name, TraceEvent::Phase phase, uint64_t flow_id) {
+  void Push(const char* name, TraceEvent::Phase phase, uint64_t flow_id,
+            uint64_t request_id) {
     const size_t i = size_.load(std::memory_order_relaxed);
     if (i >= kCapacity) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      TraceDropCounter().Add(1);
       return;
     }
     TraceEvent& e = slots_[i];
     e.name = name;
     e.ts_ns = SteadyNowNanos();
     e.flow_id = flow_id;
+    e.request_id = request_id;
     e.phase = phase;
     size_.store(i + 1, std::memory_order_release);
   }
@@ -97,11 +117,30 @@ ThreadBuffer* CurrentThreadBuffer() {
 }
 
 void Record(ThreadBuffer* buf, const char* name, TraceEvent::Phase phase,
-            uint64_t flow_id) {
-  buf->Push(name, phase, flow_id);
+            uint64_t flow_id, uint64_t request_id) {
+  buf->Push(name, phase, flow_id, request_id);
 }
 
 }  // namespace trace_internal
+
+void RequestTrace::Append(const char* name, TraceEvent::Phase phase,
+                          uint64_t flow_id) {
+  // Claim-then-write: claims are ordered per thread, so the slots filtered
+  // by tid reconstruct each thread's bracketed sequence. Publication to the
+  // reader is external (the quiesce contract in the header), so relaxed
+  // claim ordering suffices.
+  const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= kCapacity) {
+    TraceDropCounter().Add(1);
+    return;
+  }
+  Event& e = events_[i];
+  e.name = name;
+  e.ts_ns = SteadyNowNanos();
+  e.flow_id = flow_id;
+  e.tid = trace_internal::CurrentThreadBuffer()->tid();
+  e.phase = phase;
+}
 
 namespace {
 
@@ -189,15 +228,29 @@ uint64_t NewTraceFlowId() {
 }
 
 void TraceFlowOut(uint64_t flow_id) {
-  if (flow_id == 0 || !TraceEnabled()) return;
-  trace_internal::Record(trace_internal::CurrentThreadBuffer(),
-                         "flow", TraceEvent::Phase::kFlowOut, flow_id);
+  if (flow_id == 0) return;
+  RequestTrace* const req = trace_internal::g_request_trace;
+  if (TraceEnabled()) {
+    trace_internal::Record(trace_internal::CurrentThreadBuffer(),
+                           "flow", TraceEvent::Phase::kFlowOut, flow_id,
+                           req != nullptr ? req->request_id() : 0);
+  }
+  if (req != nullptr) {
+    req->Append("flow", TraceEvent::Phase::kFlowOut, flow_id);
+  }
 }
 
 void TraceFlowIn(uint64_t flow_id) {
-  if (flow_id == 0 || !TraceEnabled()) return;
-  trace_internal::Record(trace_internal::CurrentThreadBuffer(),
-                         "flow", TraceEvent::Phase::kFlowIn, flow_id);
+  if (flow_id == 0) return;
+  RequestTrace* const req = trace_internal::g_request_trace;
+  if (TraceEnabled()) {
+    trace_internal::Record(trace_internal::CurrentThreadBuffer(),
+                           "flow", TraceEvent::Phase::kFlowIn, flow_id,
+                           req != nullptr ? req->request_id() : 0);
+  }
+  if (req != nullptr) {
+    req->Append("flow", TraceEvent::Phase::kFlowIn, flow_id);
+  }
 }
 
 std::vector<TraceThreadEvents> SnapshotTraceEvents() {
@@ -328,13 +381,25 @@ std::string ExportTraceAggregateTable() {
 }
 
 void TraceSpan::Begin(const char* name) {
-  buf_ = trace_internal::CurrentThreadBuffer();
   name_ = name;
-  trace_internal::Record(buf_, name, TraceEvent::Phase::kBegin, 0);
+  req_ = trace_internal::g_request_trace;
+  // The global ring and the request collector record independently: global
+  // tracing may be off while a request scope is installed (the always-on
+  // serving path) and vice versa (offline CLI tracing).
+  if (trace_internal::g_trace_enabled.load(std::memory_order_relaxed)) {
+    buf_ = trace_internal::CurrentThreadBuffer();
+    trace_internal::Record(buf_, name, TraceEvent::Phase::kBegin, 0,
+                           req_ != nullptr ? req_->request_id() : 0);
+  }
+  if (req_ != nullptr) req_->Append(name, TraceEvent::Phase::kBegin, 0);
 }
 
 void TraceSpan::End() {
-  trace_internal::Record(buf_, name_, TraceEvent::Phase::kEnd, 0);
+  if (buf_ != nullptr) {
+    trace_internal::Record(buf_, name_, TraceEvent::Phase::kEnd, 0,
+                           req_ != nullptr ? req_->request_id() : 0);
+  }
+  if (req_ != nullptr) req_->Append(name_, TraceEvent::Phase::kEnd, 0);
 }
 
 }  // namespace crashsim

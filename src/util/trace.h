@@ -1,7 +1,9 @@
 #ifndef CRASHSIM_UTIL_TRACE_H_
 #define CRASHSIM_UTIL_TRACE_H_
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -49,6 +51,10 @@ struct TraceEvent {
   const char* name = nullptr;  // static string literal, never owned
   int64_t ts_ns = 0;           // steady-clock nanoseconds
   uint64_t flow_id = 0;        // non-zero for flow events only
+  // Request attribution (PR 10): the id of the serving request that was
+  // current on the recording thread, 0 outside any request scope. Lets the
+  // Chrome export and /tracez group spans by request instead of by thread.
+  uint64_t request_id = 0;
   Phase phase = Phase::kBegin;
 };
 
@@ -106,33 +112,128 @@ std::vector<TraceAggregateRow> AggregateTrace();
 // The same aggregate rendered as a fixed-width table.
 std::string ExportTraceAggregateTable();
 
+// --- Request-scoped tracing (PR 10) ----------------------------------------
+//
+// The global per-thread rings above never wrap, so they cannot serve an
+// always-on server: after one fill they only drop. RequestTrace is the
+// per-request complement — a small bounded collector owned by the serving
+// thread for the lifetime of one request. While a thread has a RequestTrace
+// installed (TraceRequestScope), every TRACE_SPAN on that thread records
+// into it, independent of the global StartTracing() flag; ParallelFor
+// propagates the installation to the pool workers running the request's
+// shards, so the collector sees the whole ingress → executor → engine tree.
+//
+// Write side: any thread, lock-free — a slot is claimed with fetch_add and
+// written in place; claims past capacity are dropped and counted. A thread's
+// own claims land at increasing indices, so filtering the slots by tid
+// yields that thread's events in record order (properly bracketed, same as
+// the global rings).
+//
+// Read side: the owning thread, only after all traced work has joined. The
+// serving path satisfies this by construction — the executor runs the query
+// synchronously and every engine ParallelFor joins before returning (the
+// join's mutex hand-off is the happens-before edge that publishes worker
+// writes), so reading after Execute() returns is race-free.
+class RequestTrace {
+ public:
+  // 512 events (~20 KiB on the stack) comfortably covers a request's
+  // ingress/executor/cache/engine spans plus per-shard spans; deep per-level
+  // walk detail overflows by design and is reported via dropped().
+  static constexpr size_t kCapacity = 512;
+
+  struct Event {
+    const char* name = nullptr;  // static string literal, never owned
+    int64_t ts_ns = 0;
+    uint64_t flow_id = 0;
+    uint32_t tid = 0;  // recording thread (trace-registry tid)
+    TraceEvent::Phase phase = TraceEvent::Phase::kBegin;
+  };
+
+  explicit RequestTrace(uint64_t request_id) : request_id_(request_id) {}
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  uint64_t request_id() const { return request_id_; }
+
+  // Appends one event from the calling thread; drops (and counts) when the
+  // collector is full. Defined in trace.cc.
+  void Append(const char* name, TraceEvent::Phase phase, uint64_t flow_id);
+
+  // Reader side — valid only after writers have quiesced (see above).
+  size_t size() const {
+    const size_t n = next_.load(std::memory_order_acquire);
+    return n < kCapacity ? n : kCapacity;
+  }
+  const Event& event(size_t i) const { return events_[i]; }
+  int64_t dropped() const {
+    const size_t n = next_.load(std::memory_order_relaxed);
+    return n > kCapacity ? static_cast<int64_t>(n - kCapacity) : 0;
+  }
+
+ private:
+  const uint64_t request_id_;
+  std::atomic<size_t> next_{0};
+  std::array<Event, kCapacity> events_;
+};
+
 namespace trace_internal {
 
 // Single flag, relaxed loads on the hot path; see TraceSpan.
 extern std::atomic<bool> g_trace_enabled;
+
+// The request collector installed on this thread (TraceRequestScope), or
+// nullptr. constinit so the inline hot-path read is a plain TLS load with
+// no dynamic-initialization guard.
+extern thread_local constinit RequestTrace* g_request_trace;
 
 class ThreadBuffer;  // per-thread ring buffer, defined in trace.cc
 // Lazily registers (mutex, once per thread) and returns this thread's
 // buffer; stable for the process lifetime.
 ThreadBuffer* CurrentThreadBuffer();
 // Appends one event to `buf` (owner thread only); drops when full.
+// `request_id` tags the event with the serving request current on the
+// recording thread (0 = none).
 void Record(ThreadBuffer* buf, const char* name, TraceEvent::Phase phase,
-            uint64_t flow_id);
+            uint64_t flow_id, uint64_t request_id);
 
 }  // namespace trace_internal
 
+// The request collector installed on the calling thread, or nullptr.
+inline RequestTrace* CurrentRequestTrace() {
+  return trace_internal::g_request_trace;
+}
+
+// Installs `trace` as the calling thread's request collector for the scope
+// (saves and restores the previous installation, so scopes nest). Passing
+// nullptr is a no-op scope — callers don't need to branch.
+class TraceRequestScope {
+ public:
+  explicit TraceRequestScope(RequestTrace* trace)
+      : saved_(trace_internal::g_request_trace) {
+    trace_internal::g_request_trace = trace;
+  }
+  ~TraceRequestScope() { trace_internal::g_request_trace = saved_; }
+  TraceRequestScope(const TraceRequestScope&) = delete;
+  TraceRequestScope& operator=(const TraceRequestScope&) = delete;
+
+ private:
+  RequestTrace* const saved_;
+};
+
 // RAII span. Prefer the TRACE_SPAN macro; `name` must outlive the trace
 // (i.e. be a string literal). The enabled check is inline so a disabled
-// span never leaves the header.
+// span never leaves the header: one relaxed atomic load plus one plain
+// thread-local load (the trace_test.cc overhead guard pins the cost).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (trace_internal::g_trace_enabled.load(std::memory_order_relaxed)) {
+    if (trace_internal::g_trace_enabled.load(std::memory_order_relaxed) ||
+        trace_internal::g_request_trace != nullptr) {
       Begin(name);
     }
   }
   ~TraceSpan() {
-    if (buf_ != nullptr) End();
+    if (name_ != nullptr) End();
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -142,6 +243,7 @@ class TraceSpan {
   void End();
 
   trace_internal::ThreadBuffer* buf_ = nullptr;
+  RequestTrace* req_ = nullptr;
   const char* name_ = nullptr;
 };
 

@@ -1,0 +1,175 @@
+// Tier-2 scrape-vs-load race: /metrics, /statusz and /tracez scrapes
+// hammering the metrics listener while query clients keep the executor,
+// tree cache, rolling histograms and tracez ring hot. Every shared
+// structure the debug endpoints read (executor ledger, cache stats,
+// SlidingHistogram slots, TracezRing, RequestTrace sampling) is written
+// concurrently by the serving threads, so the TSan lane proves the
+// observability surface is race-free, not just the serving path.
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace crashsim {
+namespace {
+
+LoadedGraph StressGraph() {
+  Rng rng(17);
+  LoadedGraph loaded;
+  loaded.graph = ErdosRenyi(200, 900, /*undirected=*/false, &rng);
+  loaded.original_ids.resize(static_cast<size_t>(loaded.graph.num_nodes()));
+  std::iota(loaded.original_ids.begin(), loaded.original_ids.end(),
+            int64_t{0});
+  return loaded;
+}
+
+// One framed query round trip on a fresh connection; true on an "OK"
+// response. (Errors from shed load are fine — the point is traffic.)
+bool RunTopK(int port, int64_t source) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return false;
+  }
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue(std::string("topk")));
+  request.Set("source", JsonValue(source));
+  request.Set("k", JsonValue(int64_t{5}));
+  bool ok = false;
+  if (WriteFrame(fd, request.Write()).ok()) {
+    StatusOr<std::string> payload = ReadFrame(fd);
+    if (payload.ok()) {
+      StatusOr<JsonValue> response = ParseJson(*payload);
+      ok = response.ok() && response->GetString("status", "") == "OK" &&
+           response->GetInt("request_id", 0) > 0;
+    }
+  }
+  close(fd);
+  return ok;
+}
+
+// One GET against the metrics listener; returns the full response.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  const std::string get = "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  send(fd, get.data(), get.size(), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+TEST(ScrapeStressTest, DebugEndpointsRaceLiveQueryLoad) {
+  ServerOptions options;
+  options.engine.mc.trials_override = 100;
+  options.engine.mc.seed = 29;
+  options.executor.degrade_at = 0.0;
+  options.executor.max_concurrent = 4;
+  options.executor.max_queue = 64;
+  options.metrics_port = 0;
+  options.tracez_sample_every = 1;  // insert into the ring on every request
+  options.slow_query_ms = -1;       // no event log attached
+  Server server(StressGraph(), std::nullopt, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kQueriesPerThread = 40;
+  constexpr int kScrapeThreads = 3;  // one per endpoint
+  std::atomic<int> queries_ok{0};
+  std::atomic<bool> queries_done{false};
+  std::atomic<int> scrapes_ok{0};
+  std::atomic<int> scrapes_bad{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kQueryThreads + kScrapeThreads);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&server, &queries_ok, t] {
+      // A few hot sources so the cache sees hits, misses and evictions.
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        if (RunTopK(server.port(), (t * 7 + i) % 20)) {
+          queries_ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  const char* kPaths[kScrapeThreads] = {"/metrics", "/statusz", "/tracez"};
+  for (int s = 0; s < kScrapeThreads; ++s) {
+    threads.emplace_back([&server, &queries_done, &scrapes_ok, &scrapes_bad,
+                          path = std::string(kPaths[s])] {
+      // Scrape until the query load finishes, then once more against the
+      // quiesced server.
+      do {
+        const std::string response = HttpGet(server.metrics_port(), path);
+        if (response.find("HTTP/1.1 200 OK") == 0) {
+          scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          scrapes_bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      } while (!queries_done.load(std::memory_order_acquire));
+    });
+  }
+  for (int t = 0; t < kQueryThreads; ++t) threads[static_cast<size_t>(t)].join();
+  queries_done.store(true, std::memory_order_release);
+  for (size_t t = kQueryThreads; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(queries_ok.load(), kQueryThreads * kQueriesPerThread);
+  EXPECT_EQ(scrapes_bad.load(), 0);
+  EXPECT_GE(scrapes_ok.load(), kScrapeThreads);  // each path scraped >= once
+
+  // The quiesced /statusz totals must reconcile with the load we applied.
+  const std::string statusz = HttpGet(server.metrics_port(), "/statusz");
+  const size_t body_at = statusz.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  StatusOr<JsonValue> doc = ParseJson(statusz.substr(body_at + 4));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* executor = doc->Find("executor");
+  ASSERT_NE(executor, nullptr);
+  EXPECT_EQ(executor->GetInt("completed", -1),
+            kQueryThreads * kQueriesPerThread);
+  EXPECT_EQ(executor->GetInt("running", -1), 0);
+  const JsonValue* latency = doc->Find("latency");
+  ASSERT_NE(latency, nullptr);
+  const JsonValue* topk_window = latency->Find("topk");
+  ASSERT_NE(topk_window, nullptr);
+  EXPECT_EQ(topk_window->GetInt("count", -1),
+            kQueryThreads * kQueriesPerThread);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -1,6 +1,8 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cstring>
+#include <functional>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -13,11 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "core/crashsim.h"
 #include "graph/generators.h"
 #include "graph/temporal_graph.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
+#include "util/event_log.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/top_k.h"
@@ -107,6 +113,50 @@ JsonValue TopKRequest(int64_t source, int64_t k) {
   return request;
 }
 
+// One raw HTTP exchange with the metrics listener; returns the whole
+// response (status line, headers, body). split=true dribbles the request a
+// few bytes at a time to exercise partial-read tolerance.
+std::string RawHttp(int port, const std::string& payload, bool split = false) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  if (split) {
+    for (size_t i = 0; i < payload.size(); i += 7) {
+      const std::string piece = payload.substr(i, 7);
+      send(fd, piece.data(), piece.size(), 0);
+      std::this_thread::sleep_for(milliseconds(5));
+    }
+  } else {
+    send(fd, payload.data(), payload.size(), 0);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& path, bool split = false) {
+  return RawHttp(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n", split);
+}
+
+// The body after the header terminator (empty when none).
+std::string HttpBody(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
 TEST(ServerOptionsTest, ValidateRejectsBadValues) {
   ServerOptions opt = TestServerOptions();
   opt.port = 70000;
@@ -119,6 +169,15 @@ TEST(ServerOptionsTest, ValidateRejectsBadValues) {
   EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
   opt = TestServerOptions();
   opt.executor.max_concurrent = 0;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  opt = TestServerOptions();
+  opt.slow_query_ms = -2;  // -1 (disabled) is the lowest legal value
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  opt = TestServerOptions();
+  opt.tracez_capacity = -1;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  opt = TestServerOptions();
+  opt.slo_ms = 0;
   EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
   EXPECT_TRUE(TestServerOptions().Validate().ok());
 }
@@ -373,6 +432,208 @@ TEST(ServerTest, MetricsEndpointServesPrometheusText) {
   EXPECT_NE(body.find("crashsim_serve_requests_total"), std::string::npos);
   EXPECT_NE(body.find("# TYPE"), std::string::npos);
   server.Shutdown();
+}
+
+TEST(ServerTest, ResponsesCarryRequestIdAndStageBreakdown) {
+  Server server(TestGraph(), std::nullopt, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  StatusOr<JsonValue> first = client.Call(TopKRequest(1007, 5));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->GetString("status", ""), "OK");
+  const int64_t first_id = first->GetInt("request_id", 0);
+  EXPECT_GT(first_id, 0);
+  const JsonValue* stages = first->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  for (const char* key : {"queue_ms", "cache_ms", "walk_ms", "serialize_ms"}) {
+    EXPECT_GE(stages->GetDouble(key, -1.0), 0.0) << key;
+  }
+
+  // Ids are assigned at ingress and strictly increase; error responses get
+  // one too, so every reply is correlatable with the event log.
+  StatusOr<JsonValue> second = client.Call(TopKRequest(99999, 5));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->GetString("status", ""), "NOT_FOUND");
+  EXPECT_GT(second->GetInt("request_id", 0), first_id);
+  server.Shutdown();
+}
+
+TEST(ServerTest, StatuszReportsLedgerCacheAndRollingLatency) {
+  ServerOptions options = TestServerOptions();
+  options.tracez_sample_every = 1;
+  Server server(TestGraph(), std::nullopt, options);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.Call(TopKRequest(1007, 5)).ok());
+    ASSERT_TRUE(client.Call(TopKRequest(1007, 5)).ok());
+  }
+
+  const std::string response = HttpGet(server.metrics_port(), "/statusz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  StatusOr<JsonValue> doc = ParseJson(HttpBody(response));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("schema", ""), "crashsim.statusz.v1");
+  EXPECT_GE(doc->GetDouble("uptime_seconds", -1.0), 0.0);
+  const JsonValue* graph = doc->Find("graph");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->GetInt("nodes", 0), 300);
+  const JsonValue* executor = doc->Find("executor");
+  ASSERT_NE(executor, nullptr);
+  EXPECT_EQ(executor->GetInt("submitted", -1), 2);
+  EXPECT_EQ(executor->GetInt("completed", -1), 2);
+  const JsonValue* cache = doc->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->GetInt("misses", -1), 1);
+  EXPECT_EQ(cache->GetInt("hits", -1), 1);
+  const JsonValue* latency = doc->Find("latency");
+  ASSERT_NE(latency, nullptr);
+  const JsonValue* topk_window = latency->Find("topk");
+  ASSERT_NE(topk_window, nullptr);
+  EXPECT_EQ(topk_window->GetInt("count", -1), 2);
+  EXPECT_GE(topk_window->GetDouble("p99_ms", -1.0),
+            topk_window->GetDouble("p50_ms", -1.0));
+  const JsonValue* slo = doc->Find("slo");
+  ASSERT_NE(slo, nullptr);
+  EXPECT_EQ(slo->GetInt("window_total", -1), 2);
+  server.Shutdown();
+}
+
+TEST(ServerTest, TracezReassemblesIngressToEngineSpanTree) {
+  ServerOptions options = TestServerOptions();
+  options.tracez_sample_every = 1;  // sample every request
+  Server server(TestGraph(), std::nullopt, options);
+  ASSERT_TRUE(server.Start().ok());
+  int64_t request_id = 0;
+  {
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    StatusOr<JsonValue> response = client.Call(TopKRequest(1007, 5));
+    ASSERT_TRUE(response.ok());
+    request_id = response->GetInt("request_id", 0);
+    ASSERT_GT(request_id, 0);
+  }
+
+  StatusOr<JsonValue> doc =
+      ParseJson(HttpBody(HttpGet(server.metrics_port(), "/tracez")));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("schema", ""), "crashsim.tracez.v1");
+  EXPECT_EQ(doc->GetInt("capacity", -1), 64);
+  const JsonValue* traces = doc->Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_FALSE(traces->items().empty());
+
+  // Find the sampled entry for our request and walk its span tree: the
+  // ingress span must contain the executor span — the request id crossed
+  // the server -> executor -> engine boundary intact.
+  bool found = false;
+  for (const JsonValue& entry : traces->items()) {
+    if (entry.GetInt("request_id", -1) != request_id) continue;
+    found = true;
+    EXPECT_EQ(entry.GetString("op", ""), "topk");
+    EXPECT_EQ(entry.GetString("status", ""), "OK");
+    const JsonValue* tree = entry.Find("trace");
+    ASSERT_NE(tree, nullptr);
+    EXPECT_EQ(tree->GetInt("request_id", -1), request_id);
+    std::vector<std::string> names;
+    const JsonValue* threads = tree->Find("threads");
+    ASSERT_NE(threads, nullptr);
+    std::function<void(const JsonValue&)> walk =
+        [&](const JsonValue& span) {
+          names.push_back(span.GetString("name", ""));
+          if (const JsonValue* children = span.Find("children");
+              children != nullptr) {
+            for (const JsonValue& child : children->items()) walk(child);
+          }
+        };
+    for (const JsonValue& thread : threads->items()) {
+      const JsonValue* spans = thread.Find("spans");
+      ASSERT_NE(spans, nullptr);
+      for (const JsonValue& span : spans->items()) walk(span);
+    }
+    EXPECT_NE(std::find(names.begin(), names.end(), "serve.request"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "executor.query"),
+              names.end());
+  }
+  EXPECT_TRUE(found) << "request " << request_id << " not sampled";
+  server.Shutdown();
+}
+
+TEST(ServerTest, HttpListenerHandles404And405AndSplitWrites) {
+  Server server(TestGraph(), std::nullopt, TestServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.metrics_port();
+
+  EXPECT_NE(HttpGet(port, "/nope").find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(RawHttp(port, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  // A request line dribbled 7 bytes at a time must still be served.
+  const std::string split = HttpGet(port, "/statusz", /*split=*/true);
+  EXPECT_NE(split.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(HttpBody(split).find("crashsim.statusz.v1"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, SlowQueryEventsLandInTheEventLog) {
+  const std::string path = testing::TempDir() + "/server_slow_query.jsonl";
+  std::remove(path.c_str());
+  EventLog::Options log_options;
+  log_options.path = path;
+  EventLog event_log(log_options);
+  ASSERT_TRUE(event_log.ok());
+
+  ServerOptions options = TestServerOptions();
+  options.event_log = &event_log;
+  options.slow_query_ms = 0;  // everything is "slow": log every request
+  Server server(TestGraph(), std::nullopt, options);
+  ASSERT_TRUE(server.Start().ok());
+  int64_t ok_id = 0;
+  int64_t error_id = 0;
+  {
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    StatusOr<JsonValue> ok_response = client.Call(TopKRequest(1007, 5));
+    ASSERT_TRUE(ok_response.ok());
+    ok_id = ok_response->GetInt("request_id", 0);
+    StatusOr<JsonValue> error_response = client.Call(TopKRequest(99999, 5));
+    ASSERT_TRUE(error_response.ok());
+    error_id = error_response->GetInt("request_id", 0);
+  }
+  server.Shutdown();
+  event_log.Flush();
+
+  // Both requests produced a slow_query line carrying their request id, the
+  // op, the status, and the per-stage breakdown.
+  std::ifstream in(path);
+  std::string line;
+  bool saw_ok = false;
+  bool saw_error = false;
+  while (std::getline(in, line)) {
+    StatusOr<JsonValue> event = ParseJson(line);
+    ASSERT_TRUE(event.ok()) << line;
+    if (event->GetString("event", "") != "slow_query") continue;
+    EXPECT_EQ(event->GetString("schema", ""), "crashsim.event.v1");
+    for (const char* key :
+         {"queue_ms", "cache_ms", "walk_ms", "serialize_ms"}) {
+      EXPECT_GE(event->GetDouble(key, -1.0), 0.0) << key;
+    }
+    const int64_t id = event->GetInt("request_id", 0);
+    if (id == ok_id) {
+      saw_ok = true;
+      EXPECT_EQ(event->GetString("status", ""), "OK");
+      EXPECT_EQ(event->GetString("op", ""), "topk");
+    } else if (id == error_id) {
+      saw_error = true;
+      EXPECT_EQ(event->GetString("status", ""), "NOT_FOUND");
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_error);
 }
 
 }  // namespace

@@ -167,5 +167,69 @@ TEST(MetricsRegistryTest, PrometheusExportFollowsTextFormat) {
   EXPECT_EQ(text.back(), '\n');
 }
 
+TEST(SlidingHistogramTest, WindowMergesOnlyRecentSlots) {
+  SlidingHistogram h({10, 100}, /*window_seconds=*/3);
+  h.RecordAt(5, 1000);    // in window at t=1002
+  h.RecordAt(50, 1001);   // in window
+  h.RecordAt(500, 1002);  // in window
+  const FixedHistogram::Snapshot now = h.WindowSnapshotAt(1002);
+  EXPECT_EQ(now.total, 3);
+  ASSERT_EQ(now.cumulative.size(), 3u);
+  EXPECT_EQ(now.cumulative[0], 1);  // <= 10
+  EXPECT_EQ(now.cumulative[1], 2);  // <= 100
+  EXPECT_EQ(now.cumulative[2], 3);  // overflow
+  // One second later the window is (1000, 1003]: the t=1000 slot aged out.
+  const FixedHistogram::Snapshot later = h.WindowSnapshotAt(1003);
+  EXPECT_EQ(later.total, 2);
+  // Two more seconds and only the t=1002 slot remains.
+  EXPECT_EQ(h.WindowSnapshotAt(1004).total, 1);
+}
+
+TEST(SlidingHistogramTest, SlotRecyclesWhenItsSecondComesAround) {
+  SlidingHistogram h({10}, /*window_seconds=*/2);
+  h.RecordAt(1, 100);
+  h.RecordAt(1, 101);
+  // Second 102 reuses the slot that held second 100; the old counts must
+  // not leak into the fresh second.
+  h.RecordAt(1, 102);
+  const FixedHistogram::Snapshot snap = h.WindowSnapshotAt(102);
+  EXPECT_EQ(snap.total, 2);  // seconds 101 + 102 only
+}
+
+TEST(SlidingHistogramTest, EmptyWindowQuantileIsZero) {
+  SlidingHistogram h({10, 100}, /*window_seconds=*/5);
+  EXPECT_EQ(h.WindowQuantile(0.5), 0);
+  h.RecordAt(5, 10);
+  // 1000 seconds later nothing is left in the window.
+  EXPECT_EQ(SlidingHistogram::SnapshotQuantile(h.WindowSnapshotAt(1010), 0.5),
+            0);
+}
+
+TEST(SlidingHistogramTest, NearestRankQuantilesResolveToBucketBounds) {
+  SlidingHistogram h({1, 2, 4, 8, 16}, /*window_seconds=*/60);
+  // 90 fast (<=1ms), 10 slow (<=16ms) at the same second.
+  for (int i = 0; i < 90; ++i) h.RecordAt(1, 500);
+  for (int i = 0; i < 10; ++i) h.RecordAt(16, 500);
+  const FixedHistogram::Snapshot snap = h.WindowSnapshotAt(500);
+  EXPECT_EQ(SlidingHistogram::SnapshotQuantile(snap, 0.50), 1);
+  EXPECT_EQ(SlidingHistogram::SnapshotQuantile(snap, 0.95), 16);
+  EXPECT_EQ(SlidingHistogram::SnapshotQuantile(snap, 0.99), 16);
+}
+
+TEST(SlidingHistogramTest, OverflowQuantileReportsLastFiniteBound) {
+  SlidingHistogram h({1, 2}, /*window_seconds=*/60);
+  h.RecordAt(1000, 7);  // overflow bucket
+  EXPECT_EQ(SlidingHistogram::SnapshotQuantile(h.WindowSnapshotAt(7), 0.99),
+            2);
+}
+
+TEST(SlidingHistogramTest, SteadyClockPathRecordsIntoCurrentWindow) {
+  SlidingHistogram h({10, 100}, /*window_seconds=*/60);
+  h.Record(5);
+  h.Record(50);
+  EXPECT_EQ(h.WindowSnapshot().total, 2);
+  EXPECT_EQ(h.WindowQuantile(1.0), 100);
+}
+
 }  // namespace
 }  // namespace crashsim

@@ -1,7 +1,9 @@
 #include "util/trace.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -220,6 +222,114 @@ TEST(TraceTest, FlowHelpersNoOpWhenDisabledOrZero) {
       EXPECT_NE(e.phase, TraceEvent::Phase::kFlowIn);
     }
   }
+}
+
+TEST(RequestTraceTest, CollectsSpansWhileGlobalTracingIsOff) {
+  StopTracing();
+  ASSERT_FALSE(TraceEnabled());
+  RequestTrace trace(/*request_id=*/42);
+  {
+    const TraceRequestScope scope(&trace);
+    TRACE_SPAN("request.outer");
+    {
+      TRACE_SPAN("request.inner");
+    }
+  }
+  EXPECT_EQ(trace.request_id(), 42u);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_STREQ(trace.event(0).name, "request.outer");
+  EXPECT_EQ(trace.event(0).phase, TraceEvent::Phase::kBegin);
+  EXPECT_STREQ(trace.event(1).name, "request.inner");
+  EXPECT_STREQ(trace.event(2).name, "request.inner");
+  EXPECT_EQ(trace.event(2).phase, TraceEvent::Phase::kEnd);
+  EXPECT_STREQ(trace.event(3).name, "request.outer");
+  EXPECT_EQ(trace.event(3).phase, TraceEvent::Phase::kEnd);
+  EXPECT_EQ(trace.dropped(), 0);
+  // The global rings stayed empty: nothing was enabled.
+  for (const TraceThreadEvents& t : SnapshotTraceEvents()) {
+    for (const TraceEvent& e : t.events) {
+      EXPECT_STRNE(e.name, "request.outer");
+    }
+  }
+}
+
+TEST(RequestTraceTest, ScopesNestAndRestore) {
+  RequestTrace outer_trace(1);
+  RequestTrace inner_trace(2);
+  EXPECT_EQ(CurrentRequestTrace(), nullptr);
+  {
+    const TraceRequestScope outer(&outer_trace);
+    EXPECT_EQ(CurrentRequestTrace(), &outer_trace);
+    {
+      const TraceRequestScope inner(&inner_trace);
+      EXPECT_EQ(CurrentRequestTrace(), &inner_trace);
+      TRACE_SPAN("nested.span");
+    }
+    EXPECT_EQ(CurrentRequestTrace(), &outer_trace);
+  }
+  EXPECT_EQ(CurrentRequestTrace(), nullptr);
+  EXPECT_EQ(inner_trace.size(), 2u);
+  EXPECT_EQ(outer_trace.size(), 0u);
+}
+
+TEST(RequestTraceTest, OverflowDropsAndCounts) {
+  RequestTrace trace(3);
+  const TraceRequestScope scope(&trace);
+  const int spans = static_cast<int>(RequestTrace::kCapacity);  // 2x events
+  for (int i = 0; i < spans; ++i) {
+    TRACE_SPAN("request.spam");
+  }
+  EXPECT_EQ(trace.size(), RequestTrace::kCapacity);
+  EXPECT_EQ(trace.dropped(),
+            static_cast<int64_t>(RequestTrace::kCapacity));
+}
+
+TEST(RequestTraceTest, ParallelForShardsInheritTheRequestScope) {
+  StopTracing();
+  RequestTrace trace(7);
+  {
+    const TraceRequestScope scope(&trace);
+    TRACE_SPAN("request.parallel");
+    std::atomic<int64_t> sum{0};
+    ParallelFor(
+        8, [&sum](int64_t begin, int64_t end) { sum.fetch_add(end - begin); },
+        /*min_chunk=*/1, /*max_threads=*/2);
+    EXPECT_EQ(sum.load(), 8);
+  }
+  // Worker threads recorded their shard spans into this request's trace,
+  // linked back to the spawning ParallelFor call by matching flow ids.
+  bool saw_shard = false;
+  std::vector<uint64_t> flow_out_ids;
+  std::vector<uint64_t> flow_in_ids;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const RequestTrace::Event& e = trace.event(i);
+    if (e.phase == TraceEvent::Phase::kFlowOut) {
+      flow_out_ids.push_back(e.flow_id);
+    } else if (e.phase == TraceEvent::Phase::kFlowIn) {
+      flow_in_ids.push_back(e.flow_id);
+    } else if (e.phase == TraceEvent::Phase::kBegin &&
+               std::string(e.name) == "parallel_for.shard") {
+      saw_shard = true;
+    }
+  }
+  EXPECT_TRUE(saw_shard);
+  ASSERT_FALSE(flow_in_ids.empty());
+  for (const uint64_t id : flow_in_ids) {
+    EXPECT_NE(std::find(flow_out_ids.begin(), flow_out_ids.end(), id),
+              flow_out_ids.end());
+  }
+}
+
+TEST(RequestTraceTest, SpanRecordsToInstallTimeCollector) {
+  // A span records to the collector current at its *construction*: a scope
+  // that ends while the span is open must not lose the End event.
+  RequestTrace trace(9);
+  auto scope = std::make_unique<TraceRequestScope>(&trace);
+  auto span = std::make_unique<TraceSpan>("straddling.span");
+  scope.reset();  // uninstall while the span is open
+  span.reset();   // End still lands in `trace`
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.event(1).phase, TraceEvent::Phase::kEnd);
 }
 
 TEST(TraceTest, DisabledSpanOverheadIsNanoseconds) {

@@ -994,6 +994,10 @@ int RunReplay(int argc, char** argv) {
   flags.DefineBool("tolerate_eof", false,
                    "treat transport errors (server draining mid-run) as "
                    "shed responses instead of failures");
+  flags.DefineString("latency_out", "",
+                     "write a per-request CSV: client-side latency plus the "
+                     "server's stage breakdown (queue/cache/walk/serialize) "
+                     "echoed in each response");
   if (!flags.Parse(argc, argv)) return 1;
   if (flags.GetInt("port") == 0) return Fail("--port is required");
   const auto sources_or = ParseSourceList(flags.GetString("sources"));
@@ -1034,9 +1038,26 @@ int RunReplay(int argc, char** argv) {
   const uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed"));
   const bool tolerate_eof = flags.GetBool("tolerate_eof");
 
+  // One CSV row per completed request: the client-observed latency next to
+  // the server's own stage split, so "slow at the client, fast at the
+  // server" (network/queueing) separates from "slow inside the engine".
+  struct LatencyRow {
+    int64_t request_id = 0;
+    int client = 0;
+    int64_t source = 0;
+    std::string status;
+    double client_ms = 0.0;
+    double queue_ms = 0.0;
+    double cache_ms = 0.0;
+    double walk_ms = 0.0;
+    double serialize_ms = 0.0;
+  };
+  const std::string latency_out = flags.GetString("latency_out");
+
   std::mutex tally_mu;
   std::map<std::string, int64_t> by_status;  // under tally_mu
   std::vector<double> latencies_ms;          // under tally_mu
+  std::vector<LatencyRow> rows;              // under tally_mu
   Status connect_error;                      // under tally_mu
 
   const Stopwatch wall;
@@ -1053,6 +1074,7 @@ int RunReplay(int argc, char** argv) {
       Rng rng(base_seed + static_cast<uint64_t>(c) * 7919);
       std::map<std::string, int64_t> local_status;
       std::vector<double> local_ms;
+      std::vector<LatencyRow> local_rows;
       local_ms.reserve(static_cast<size_t>(requests));
       const auto start = std::chrono::steady_clock::now();
       for (int64_t q = 0; q < requests; ++q) {
@@ -1083,11 +1105,29 @@ int RunReplay(int argc, char** argv) {
         }
         local_ms.push_back(elapsed_ms);
         ++local_status[response->GetString("status", "?")];
+        if (!latency_out.empty()) {
+          LatencyRow row;
+          row.request_id = response->GetInt("request_id", 0);
+          row.client = c;
+          row.source = source;
+          row.status = response->GetString("status", "?");
+          row.client_ms = elapsed_ms;
+          if (const JsonValue* stages = response->Find("stages");
+              stages != nullptr && stages->is_object()) {
+            row.queue_ms = stages->GetDouble("queue_ms", 0.0);
+            row.cache_ms = stages->GetDouble("cache_ms", 0.0);
+            row.walk_ms = stages->GetDouble("walk_ms", 0.0);
+            row.serialize_ms = stages->GetDouble("serialize_ms", 0.0);
+          }
+          local_rows.push_back(std::move(row));
+        }
       }
       const std::lock_guard<std::mutex> lock(tally_mu);
       for (const auto& [name, count] : local_status) by_status[name] += count;
       latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
                           local_ms.end());
+      rows.insert(rows.end(), std::make_move_iterator(local_rows.begin()),
+                  std::make_move_iterator(local_rows.end()));
     });
   }
   for (std::thread& t : workers) t.join();
@@ -1114,6 +1154,29 @@ int RunReplay(int argc, char** argv) {
                   ? static_cast<double>(latencies_ms.size()) / wall_seconds
                   : 0.0,
               wall_seconds);
+  if (!latency_out.empty()) {
+    std::sort(rows.begin(), rows.end(),
+              [](const LatencyRow& a, const LatencyRow& b) {
+                return a.request_id < b.request_id;
+              });
+    std::FILE* csv = std::fopen(latency_out.c_str(), "w");
+    if (csv == nullptr) {
+      return Fail(("cannot write --latency_out file " + latency_out).c_str());
+    }
+    std::fprintf(csv,
+                 "request_id,client,source,status,client_ms,server_queue_ms,"
+                 "server_cache_ms,server_walk_ms,server_serialize_ms\n");
+    for (const LatencyRow& row : rows) {
+      std::fprintf(csv, "%lld,%d,%lld,%s,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+                   static_cast<long long>(row.request_id), row.client,
+                   static_cast<long long>(row.source), row.status.c_str(),
+                   row.client_ms, row.queue_ms, row.cache_ms, row.walk_ms,
+                   row.serialize_ms);
+    }
+    std::fclose(csv);
+    std::printf("latency csv: %zu rows -> %s\n", rows.size(),
+                latency_out.c_str());
+  }
   // Non-OK terminal outcomes fail the run unless explicitly tolerated.
   for (const auto& [name, count] : by_status) {
     if (name != "OK" && name != "TRANSPORT_TOLERATED" && count > 0) {

@@ -20,6 +20,7 @@
 
 #include "graph/graph_io.h"
 #include "serve/server.h"
+#include "util/event_log.h"
 #include "util/flags.h"
 #include "util/status.h"
 
@@ -95,6 +96,20 @@ int Run(int argc, char** argv) {
   flags.DefineInt("seed", 42, "RNG seed");
   flags.DefineBool("paper_mode", false,
                    "use the paper-verbatim revReach recurrence");
+  // Request-scoped observability (docs/OBSERVABILITY.md).
+  flags.DefineString("event_log", "",
+                     "structured JSON-lines event log path (empty = stderr)");
+  flags.DefineIntInRange("slow_query_ms", 500, -1, 86400000,
+                         "slow-query log threshold; 0 logs every request, "
+                         "-1 disables the slow-query log");
+  flags.DefineIntInRange("tracez_capacity", 64, 0, 65536,
+                         "/tracez retains this many sampled request traces "
+                         "(0 disables per-request tracing)");
+  flags.DefineIntInRange("tracez_sample_every", 16, 0, 1 << 30,
+                         "sample every Nth request into /tracez even when "
+                         "fast and OK (0 = only slow requests)");
+  flags.DefineIntInRange("slo_ms", 500, 1, 86400000,
+                         "/statusz SLO latency threshold");
   if (!flags.Parse(argc, argv)) return 1;
   if (flags.GetString("graph").empty()) {
     std::fprintf(stderr, "error: --graph is required\n");
@@ -137,10 +152,35 @@ int Run(int argc, char** argv) {
                                                     : RevReachMode::kCorrected;
   options.engine.num_threads = static_cast<int>(flags.GetInt("threads"));
   options.engine.batch_size = static_cast<int>(flags.GetInt("batch_size"));
+  options.slow_query_ms = flags.GetInt("slow_query_ms");
+  options.tracez_capacity = static_cast<int>(flags.GetInt("tracez_capacity"));
+  options.tracez_sample_every =
+      static_cast<int>(flags.GetInt("tracez_sample_every"));
+  options.slo_ms = flags.GetInt("slo_ms");
+
+  // Structured event log: lifecycle events and the server's slow-query
+  // lines go here as crashsim.event.v1 JSON lines instead of ad-hoc stderr.
+  EventLog::Options log_options;
+  log_options.path = flags.GetString("event_log");
+  EventLog event_log(log_options);
+  if (!log_options.path.empty() && !event_log.ok()) {
+    std::fprintf(stderr, "warning: cannot open %s; events go to stderr\n",
+                 log_options.path.c_str());
+  }
+  options.event_log = &event_log;
   if (Status s = options.Validate(); !s.ok()) return FailStatus(s);
 
+  const int64_t graph_nodes = loaded_or->graph.num_nodes();
+  const int64_t graph_edges = loaded_or->graph.num_edges();
   Server server(std::move(*loaded_or), std::move(temporal), options);
   if (Status s = server.Start(); !s.ok()) return FailStatus(s);
+  event_log.Log(EventBuilder("server_start")
+                    .Str("host", options.host)
+                    .Int("port", server.port())
+                    .Int("metrics_port", server.metrics_port())
+                    .Int("nodes", graph_nodes)
+                    .Int("edges", graph_edges)
+                    .Finish());
 
   std::printf("listening port=%d metrics_port=%d\n", server.port(),
               server.metrics_port());
@@ -166,6 +206,13 @@ int Run(int argc, char** argv) {
   std::fflush(stdout);
   server.Shutdown();
   const Server::Stats stats = server.stats();
+  event_log.Log(EventBuilder("server_stop")
+                    .Int("requests", stats.requests)
+                    .Int("errors", stats.errors)
+                    .Int("connections", stats.connections_accepted)
+                    .Int("eventlog_dropped", event_log.dropped())
+                    .Finish());
+  event_log.Flush();
   std::printf("served %lld requests (%lld errors) on %lld connections; "
               "clean shutdown\n",
               static_cast<long long>(stats.requests),

@@ -10,7 +10,13 @@
 #      on the same graph/seed — the serving path must not change results;
 #   5. scrape GET /metrics and validate the Prometheus exposition format
 #      with tools/check_prometheus.py;
-#   6. SIGTERM the server mid-replay and require a clean drain ("clean
+#   6. scrape GET /statusz and GET /tracez, validate both schemas with
+#      tools/check_statusz.py, and require one request id to correlate
+#      end-to-end: replay --latency_out CSV -> slow-query event log ->
+#      /tracez span tree (the server runs with --slow_query_ms 0 and
+#      --tracez_sample_every 1 so every request is logged and sampled);
+#   7. require 404 on unknown debug paths and 405 on non-GET methods;
+#   8. SIGTERM the server mid-replay and require a clean drain ("clean
 #      shutdown" banner, exit code 0, replay tolerating the cut).
 #
 #   tools/run_serve_smoke.sh [--build-dir DIR]
@@ -52,6 +58,8 @@ echo "== start crashsim_serve"
 # the bit-identity check below. trials capped so the smoke stays fast.
 "$SERVE" --graph "$WORK/tiny.el" --temporal "$WORK/tiny.tel" --undirected \
   --degrade_at 0 --max_concurrent 8 --max_queue 64 --trials 2000 --seed 42 \
+  --event_log "$WORK/events.jsonl" --slow_query_ms 0 \
+  --tracez_capacity 64 --tracez_sample_every 1 \
   --port_file "$WORK/ports.txt" > "$WORK/serve.log" 2>&1 &
 SERVER_PID=$!
 for _ in $(seq 1 50); do
@@ -66,9 +74,13 @@ echo "   port=$PORT metrics_port=$MPORT"
 
 echo "== hot-key replay (8 clients)"
 "$CLI" replay --port "$PORT" --clients 8 --requests 12 \
-  --sources "3,1,5" --hot_fraction 0.8 --k 10 --seed 9 | tee "$WORK/replay.txt"
+  --sources "3,1,5" --hot_fraction 0.8 --k 10 --seed 9 \
+  --latency_out "$WORK/latency.csv" | tee "$WORK/replay.txt"
 grep -q "OK 96" "$WORK/replay.txt" || {
   echo "FAIL: expected 96 OK responses" >&2; exit 1; }
+head -1 "$WORK/latency.csv" | grep -q \
+  "^request_id,client,source,status,client_ms,server_queue_ms,server_cache_ms,server_walk_ms,server_serialize_ms$" || {
+  echo "FAIL: bad --latency_out CSV header" >&2; exit 1; }
 
 echo "== scrape /metrics"
 SCRAPE="$WORK/metrics.txt"
@@ -90,6 +102,54 @@ echo "   cache hits=$HITS misses=$MISSES"
 # 3 distinct sources -> at most 3 builds; everything else must reuse.
 [[ -n "$MISSES" && "$MISSES" -le 3 ]] || {
   echo "FAIL: expected <= 3 tree builds, got $MISSES" >&2; exit 1; }
+
+echo "== debug endpoints: /statusz + /tracez + event log correlation"
+fetch() {  # fetch URL OUT — curl when present, stdlib python otherwise
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "$1" > "$2"
+  else
+    python3 -c "import urllib.request,sys; \
+sys.stdout.buffer.write(urllib.request.urlopen(sys.argv[1]).read())" "$1" > "$2"
+  fi
+}
+fetch "http://127.0.0.1:${MPORT}/statusz" "$WORK/statusz.json"
+fetch "http://127.0.0.1:${MPORT}/tracez" "$WORK/tracez.json"
+# slow_query_ms 0 logs every request; give the async writer a beat to drain.
+sleep 0.3
+python3 "${REPO_ROOT}/tools/check_statusz.py" \
+  --statusz "$WORK/statusz.json" --tracez "$WORK/tracez.json" \
+  --event-log "$WORK/events.jsonl" --latency-csv "$WORK/latency.csv"
+
+echo "== HTTP listener hardening: 404 / 405 / split writes"
+HTTP_CODES="$(python3 - "$MPORT" <<'PY'
+import socket, sys, time
+port = int(sys.argv[1])
+
+def code_for(payload, split=False):
+    s = socket.create_connection(("127.0.0.1", port), timeout=5)
+    if split:  # dribble the request line byte-groups apart
+        for i in range(0, len(payload), 7):
+            s.sendall(payload[i:i + 7])
+            time.sleep(0.01)
+    else:
+        s.sendall(payload)
+    data = b""
+    while b"\r\n" not in data:
+        chunk = s.recv(4096)
+        if not chunk:
+            break
+        data += chunk
+    s.close()
+    return data.split(b" ")[1].decode() if data else "EOF"
+
+print(code_for(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"))
+print(code_for(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n"))
+print(code_for(b"GET /statusz HTTP/1.1\r\nHost: x\r\n\r\n", split=True))
+PY
+)"
+[[ "$HTTP_CODES" == $'404\n405\n200' ]] || {
+  echo "FAIL: expected 404/405/200, got: $HTTP_CODES" >&2; exit 1; }
+echo "   404/405/split-write all answered correctly"
 
 echo "== bit-identity vs crashsim_cli topk"
 "$CLI" replay --port "$PORT" --sources "3" --k 10 --once > "$WORK/served.txt"
